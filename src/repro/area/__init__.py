@@ -1,0 +1,14 @@
+"""Section 6.2: ASAP's hardware area overhead.
+
+The paper sizes every added structure and runs McPAT to find a total area
+overhead of ~2.5% (0.8% core, 1.7% uncore). We cannot run McPAT, so
+:mod:`repro.area.model` reproduces the inputs exactly - structure sizes in
+bytes derived from the live :class:`~repro.common.params.SystemConfig` -
+and converts them to relative overhead with a simple SRAM-density proxy:
+added bits vs the baseline on-chip SRAM bits (caches + their tags), which
+is what dominates both numerator and denominator in the McPAT runs.
+"""
+
+from repro.area.model import AreaReport, estimate_area
+
+__all__ = ["AreaReport", "estimate_area"]

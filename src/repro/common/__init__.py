@@ -1,0 +1,65 @@
+"""Shared foundations: configuration, units, addresses, and error types.
+
+Everything in this package is dependency-free and imported by every other
+subpackage. Keep it small and stable.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigError,
+    LogOverflowError,
+    SimulationError,
+    RecoveryError,
+)
+from repro.common.units import (
+    CACHE_LINE_BYTES,
+    WORD_BYTES,
+    WORDS_PER_LINE,
+    KIB,
+    MIB,
+    GIB,
+    PAGE_BYTES,
+)
+from repro.common.address import (
+    line_base,
+    line_offset,
+    line_index,
+    page_base,
+    words_of_line,
+    split_words,
+    AddressSpace,
+)
+from repro.common.params import (
+    CacheParams,
+    MemoryParams,
+    AsapParams,
+    CoreParams,
+    SystemConfig,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "LogOverflowError",
+    "SimulationError",
+    "RecoveryError",
+    "CACHE_LINE_BYTES",
+    "WORD_BYTES",
+    "WORDS_PER_LINE",
+    "KIB",
+    "MIB",
+    "GIB",
+    "PAGE_BYTES",
+    "line_base",
+    "line_offset",
+    "line_index",
+    "page_base",
+    "words_of_line",
+    "split_words",
+    "AddressSpace",
+    "CacheParams",
+    "MemoryParams",
+    "AsapParams",
+    "CoreParams",
+    "SystemConfig",
+]

@@ -1,0 +1,85 @@
+"""Address arithmetic helpers and the simulated physical address map.
+
+Addresses are plain Python integers. The address space is split into a DRAM
+region and a persistent-memory (PM) region; the
+:class:`~repro.runtime.heap.PersistentHeap` allocates from the PM region and
+marks pages persistent in the simulated page table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import CACHE_LINE_BYTES, PAGE_BYTES, WORD_BYTES, WORDS_PER_LINE
+
+
+def line_base(addr: int) -> int:
+    """Return the address of the first byte of ``addr``'s cache line."""
+    return addr & ~(CACHE_LINE_BYTES - 1)
+
+
+def line_offset(addr: int) -> int:
+    """Return the byte offset of ``addr`` within its cache line."""
+    return addr & (CACHE_LINE_BYTES - 1)
+
+
+def line_index(addr: int) -> int:
+    """Return the global index of ``addr``'s cache line."""
+    return addr >> 6  # log2(CACHE_LINE_BYTES)
+
+
+def page_base(addr: int) -> int:
+    """Return the address of the first byte of ``addr``'s page."""
+    return addr & ~(PAGE_BYTES - 1)
+
+
+def words_of_line(addr: int):
+    """Yield the word-aligned addresses belonging to ``addr``'s cache line."""
+    base = line_base(addr)
+    for i in range(WORDS_PER_LINE):
+        yield base + i * WORD_BYTES
+
+
+def split_words(addr: int, nbytes: int):
+    """Yield word-aligned addresses covering ``[addr, addr + nbytes)``.
+
+    The functional images operate on 8-byte words; a byte range is modelled
+    as touching every word it overlaps.
+    """
+    if nbytes <= 0:
+        return
+    start = addr & ~(WORD_BYTES - 1)
+    end = addr + nbytes
+    word = start
+    while word < end:
+        yield word
+        word += WORD_BYTES
+
+
+@dataclass(frozen=True)
+class AddressSpace:
+    """The simulated physical address map.
+
+    Attributes:
+        dram_base: first byte of volatile DRAM.
+        dram_size: bytes of DRAM.
+        pm_base: first byte of persistent memory.
+        pm_size: bytes of persistent memory.
+    """
+
+    dram_base: int = 0x0000_0000_0000
+    dram_size: int = 1 << 36  # 64 GiB of simulated DRAM addresses
+    pm_base: int = 0x1000_0000_0000
+    pm_size: int = 1 << 36  # 64 GiB of simulated PM addresses
+
+    def is_pm(self, addr: int) -> bool:
+        """True when ``addr`` falls inside the persistent-memory range."""
+        return self.pm_base <= addr < self.pm_base + self.pm_size
+
+    def is_dram(self, addr: int) -> bool:
+        """True when ``addr`` falls inside the DRAM range."""
+        return self.dram_base <= addr < self.dram_base + self.dram_size
+
+    def contains(self, addr: int) -> bool:
+        """True when ``addr`` is mapped at all."""
+        return self.is_pm(addr) or self.is_dram(addr)

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the ASAP reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the simulator raises with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent :class:`~repro.common.params.SystemConfig`."""
+
+
+class SimulationError(ReproError):
+    """An internal invariant of the simulator was violated at run time."""
+
+
+class LogOverflowError(ReproError):
+    """A thread's circular undo-log buffer ran out of space.
+
+    The paper handles this with a hardware exception whose handler allocates
+    more log space (Sec. 4.4); the runtime layer catches this exception and
+    grows the buffer, so user code normally never sees it.
+    """
+
+    def __init__(self, thread_id: int, capacity_entries: int):
+        self.thread_id = thread_id
+        self.capacity_entries = capacity_entries
+        super().__init__(
+            f"undo log of thread {thread_id} overflowed "
+            f"({capacity_entries} entries)"
+        )
+
+
+class RecoveryError(ReproError):
+    """The post-crash recovery procedure found corrupt or impossible state."""
+
+
+class DeadlockError(SimulationError):
+    """Every runnable thread is blocked and no event can unblock them."""

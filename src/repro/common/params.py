@@ -1,0 +1,239 @@
+"""System configuration (Table 2 of the paper) and scheme parameters.
+
+The defaults mirror the paper's evaluated system:
+
+* 18 out-of-order cores (we model them as trace-driven in-order executors),
+* 32 KB 8-way L1 (4 cycles), 1 MB 16-way L2 (14 cycles), 8 MB 16-way shared
+  L3 (42 cycles),
+* 2 memory controllers x 2 channels, 128 WPQ entries per channel,
+* battery-backed-DRAM persistent memory by default, with a latency
+  multiplier for the Fig. 10 sensitivity sweep,
+* ASAP structures: 4-entry CL List per core (8 CLPtr slots each), 128-entry
+  Dependence List per channel (4 Dep slots each), 128-entry LH-WPQ per
+  channel, 1 KB Bloom filter per channel.
+
+Scaled-down configurations for tests and pytest benchmarks are provided by
+:func:`SystemConfig.small`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.address import AddressSpace
+from repro.common.errors import ConfigError
+from repro.common.units import KIB, MIB
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry and latency of one cache level."""
+
+    size_bytes: int
+    assoc: int
+    latency: int  # access latency in cycles
+
+    def __post_init__(self):
+        if self.size_bytes <= 0 or self.assoc <= 0 or self.latency < 0:
+            raise ConfigError(f"invalid cache parameters: {self}")
+        if self.size_bytes % (self.assoc * 64) != 0:
+            raise ConfigError(
+                f"cache size {self.size_bytes} not divisible into "
+                f"{self.assoc}-way 64B sets"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.assoc * 64)
+
+
+@dataclass(frozen=True)
+class MemoryParams:
+    """Memory-controller and device timing parameters.
+
+    ``pm_latency_multiplier`` scales both the PM read latency and the PM
+    write service time, reproducing the Fig. 10 sweep (1x battery-backed
+    DRAM up to 16x slower technologies).
+    """
+
+    num_controllers: int = 2
+    channels_per_controller: int = 2
+    wpq_entries: int = 128  # per channel
+    dram_read_latency: int = 150  # cycles, row-buffer-agnostic service time
+    dram_write_service: int = 60  # cycles per line drained to DRAM
+    pm_read_latency: int = 150  # battery-backed DRAM baseline
+    pm_write_service: int = 60  # cycles per line drained from the WPQ to PM
+    pm_latency_multiplier: float = 1.0
+    #: one-way latency from the L1 to a memory controller, charged to persist
+    #: operations travelling to the WPQ.
+    mc_hop_latency: int = 40
+    #: Memory controllers prioritise reads: queued writes drain at full rate
+    #: only once WPQ occupancy reaches this watermark; below it, entries
+    #: linger and drain lazily. The lingering window is what makes LPO/DPO
+    #: dropping (Sec. 5.1) effective.
+    wpq_drain_watermark: int = 8
+    #: below the watermark, one entry drains every
+    #: ``pm_write_service * wpq_lazy_drain_multiplier`` cycles
+    wpq_lazy_drain_multiplier: int = 16
+    #: NUMA (Sec. 7.3): channel indices on a remote node - their MC hop
+    #: and PM write service are scaled by ``numa_remote_multiplier``
+    numa_remote_channels: tuple = ()
+    #: latency multiplier applied to remote channels' persist path
+    numa_remote_multiplier: float = 1.0
+
+    def __post_init__(self):
+        if self.num_controllers <= 0 or self.channels_per_controller <= 0:
+            raise ConfigError("need at least one controller and channel")
+        if self.wpq_entries <= 0:
+            raise ConfigError("WPQ must have at least one entry")
+        if self.pm_latency_multiplier <= 0:
+            raise ConfigError("pm_latency_multiplier must be positive")
+
+    @property
+    def num_channels(self) -> int:
+        return self.num_controllers * self.channels_per_controller
+
+    @property
+    def effective_pm_read_latency(self) -> int:
+        return max(1, round(self.pm_read_latency * self.pm_latency_multiplier))
+
+    @property
+    def effective_pm_write_service(self) -> int:
+        return max(1, round(self.pm_write_service * self.pm_latency_multiplier))
+
+
+@dataclass(frozen=True)
+class AsapParams:
+    """Sizes of the ASAP hardware structures and optimization switches.
+
+    The three optimization flags map to the Fig. 9a ablation:
+
+    * ``ASAP-No-Opt``: all three off,
+    * ``ASAP+C``: only ``dpo_coalescing``,
+    * ``ASAP+C+LP``: ``dpo_coalescing`` + ``lpo_dropping``,
+    * ``ASAP`` (full): all three on.
+    """
+
+    cl_list_entries: int = 4  # per core
+    clptr_slots: int = 8  # per CL List entry
+    dependence_list_entries: int = 128  # per channel
+    dep_slots: int = 4  # per Dependence List entry
+    lh_wpq_entries: int = 128  # per channel
+    bloom_filter_bits: int = 8 * KIB  # 1 KB per channel
+    bloom_hashes: int = 4
+    #: DPO initiation distance: a DPO is initiated once this many *other*
+    #: cache lines have been updated since the last write to the line
+    #: (Sec. 4.6.2; "the number four is empirically determined").
+    dpo_distance: int = 4
+    log_data_entries_per_record: int = 7  # Fig. 5a: 1 header + 7 entries
+    initial_log_entries: int = 4096  # per-thread circular buffer entries
+    lpo_dropping: bool = True
+    dpo_coalescing: bool = True
+    dpo_dropping: bool = True
+
+    def __post_init__(self):
+        if self.cl_list_entries <= 0 or self.clptr_slots <= 0:
+            raise ConfigError("CL List geometry must be positive")
+        if self.dependence_list_entries <= 0 or self.dep_slots <= 0:
+            raise ConfigError("Dependence List geometry must be positive")
+        if self.lh_wpq_entries <= 0:
+            raise ConfigError("LH-WPQ must have at least one entry")
+        if self.dpo_distance < 1:
+            raise ConfigError("dpo_distance must be >= 1")
+        if self.log_data_entries_per_record < 1:
+            raise ConfigError("log records need at least one data entry")
+
+    def ablation(self, name: str) -> "AsapParams":
+        """Return a copy configured for one of the Fig. 9a ablation points.
+
+        Args:
+            name: one of ``"no_opt"``, ``"+C"``, ``"+C+LP"``, ``"full"``.
+        """
+        table = {
+            "no_opt": dict(lpo_dropping=False, dpo_coalescing=False, dpo_dropping=False),
+            "+C": dict(lpo_dropping=False, dpo_coalescing=True, dpo_dropping=False),
+            "+C+LP": dict(lpo_dropping=True, dpo_coalescing=True, dpo_dropping=False),
+            "full": dict(lpo_dropping=True, dpo_coalescing=True, dpo_dropping=True),
+        }
+        if name not in table:
+            raise ConfigError(f"unknown ablation {name!r}; use {sorted(table)}")
+        return replace(self, **table[name])
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Trace-driven core model parameters.
+
+    The paper's cores are 5-wide out-of-order; our executor is trace driven
+    and charges every op serially, so ``base_op_cost`` plays the role of an
+    effective CPI for the non-memory work between memory references.
+    """
+
+    base_op_cost: int = 1  # cycles charged per non-memory op bundle
+    lock_spin_recheck: int = 20  # cycles between lock re-acquisition attempts
+
+    def __post_init__(self):
+        if self.base_op_cost < 0 or self.lock_spin_recheck <= 0:
+            raise ConfigError(f"invalid core parameters: {self}")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full machine description; the Table 2 configuration by default."""
+
+    num_cores: int = 18
+    l1: CacheParams = field(default_factory=lambda: CacheParams(32 * KIB, 8, 4))
+    l2: CacheParams = field(default_factory=lambda: CacheParams(1 * MIB, 16, 14))
+    l3: CacheParams = field(default_factory=lambda: CacheParams(8 * MIB, 16, 42))
+    memory: MemoryParams = field(default_factory=MemoryParams)
+    asap: AsapParams = field(default_factory=AsapParams)
+    core: CoreParams = field(default_factory=CoreParams)
+    address_space: AddressSpace = field(default_factory=AddressSpace)
+
+    def __post_init__(self):
+        if self.num_cores <= 0:
+            raise ConfigError("need at least one core")
+
+    @staticmethod
+    def small(
+        num_cores: int = 4,
+        wpq_entries: int = 16,
+        pm_latency_multiplier: float = 1.0,
+        **asap_overrides,
+    ) -> "SystemConfig":
+        """A scaled-down configuration for tests and pytest benchmarks.
+
+        Smaller caches make capacity effects visible with short workloads and
+        a smaller WPQ makes persist-op backpressure visible without running
+        millions of operations.
+        """
+        return SystemConfig(
+            num_cores=num_cores,
+            l1=CacheParams(4 * KIB, 4, 4),
+            l2=CacheParams(16 * KIB, 8, 14),
+            l3=CacheParams(64 * KIB, 8, 42),
+            memory=MemoryParams(
+                num_controllers=2,
+                channels_per_controller=1,
+                wpq_entries=wpq_entries,
+                pm_latency_multiplier=pm_latency_multiplier,
+            ),
+            asap=replace(
+                AsapParams(
+                    dependence_list_entries=32,
+                    lh_wpq_entries=32,
+                    initial_log_entries=1024,
+                ),
+                **asap_overrides,
+            ),
+        )
+
+    def with_pm_multiplier(self, multiplier: float) -> "SystemConfig":
+        """Return a copy with a scaled persistent-memory latency (Fig. 10)."""
+        return replace(
+            self, memory=replace(self.memory, pm_latency_multiplier=multiplier)
+        )
+
+    def with_asap(self, asap: AsapParams) -> "SystemConfig":
+        """Return a copy with different ASAP structure parameters."""
+        return replace(self, asap=asap)

@@ -1,0 +1,20 @@
+"""Size and granularity constants used across the simulator."""
+
+#: Bytes per cache line. All logging, persistence, and traffic accounting in
+#: the paper is done at cache-line granularity (64 B, Sec. 4.6).
+CACHE_LINE_BYTES = 64
+
+#: Bytes per machine word. The functional memory images store integers at
+#: word granularity.
+WORD_BYTES = 8
+
+#: Words in one cache line.
+WORDS_PER_LINE = CACHE_LINE_BYTES // WORD_BYTES
+
+#: Bytes per virtual-memory page; the persistent bit lives in the page table
+#: at this granularity (Sec. 4.6).
+PAGE_BYTES = 4096
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB

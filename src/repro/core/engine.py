@@ -1,0 +1,782 @@
+"""The ASAP engine: asynchronous commit with dependence enforcement.
+
+This module wires the hardware structures of Fig. 3 to the cache hierarchy
+and memory controllers, implementing:
+
+* ``asap_begin`` / ``asap_end`` with region flattening (Secs. 4.5, 4.7),
+* first-write LPO initiation with the LockBit protocol (Sec. 4.6.1),
+* CLPtr tracking and the distance-4 DPO initiation policy (Sec. 4.6.2),
+* control- and data-dependence capture (Secs. 4.5, 4.6.3),
+* the asynchronous commit state machine of Fig. 4 (Sec. 4.8),
+* the three traffic optimizations - LPO dropping, DPO coalescing, DPO
+  dropping (Sec. 5.1),
+* ``asap_fence`` for synchronous persistence on demand (Sec. 5.2),
+* OwnerRID spill/reload across LLC evictions via the DRAM buffer and
+  Bloom filter (Sec. 5.3),
+* log management with the LH-WPQ (Sec. 5.5).
+
+Everything is continuation-passing: an operation's ``done`` callback fires
+when the instruction may retire, so structural stalls (full CL List, full
+Dep slots, full LH-WPQ, WPQ backpressure) naturally extend instruction
+latency exactly where the paper says they do - and *only* there, because
+commits are asynchronous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.common.address import line_base, words_of_line
+from repro.common.errors import SimulationError
+from repro.common.params import SystemConfig
+from repro.core.bloom import OwnerSpillBuffer
+from repro.core.cl_list import CLEntry, CLList, CLSlot
+from repro.core.dependence import DependenceList
+from repro.core.lh_wpq import LogHeaderWPQ
+from repro.core.log import LogRecord, UndoLog
+from repro.core.rid import local_rid_of, pack_rid, previous_rid
+from repro.core.states import RegionState
+from repro.core.thread_state import ThreadStateRegisters
+from repro.engine import Scheduler, Signal
+from repro.mem.controller import MemorySystem
+from repro.mem.hierarchy import CacheHierarchy
+from repro.mem.image import MemoryImage
+from repro.mem.tagstore import LineMeta
+from repro.mem.wpq import DPO, LOGHDR, LPO, WB, PersistOp
+
+
+@dataclass
+class AsapStats:
+    """Engine-level counters (cross-checked by the test suite)."""
+
+    regions_begun: int = 0
+    regions_ended: int = 0
+    commits: int = 0
+    lpos_initiated: int = 0
+    dpos_initiated: int = 0
+    dpos_reinitiated: int = 0
+    lpo_drops: int = 0
+    dpo_drops: int = 0
+    loghdr_writes: int = 0
+    dep_captures: int = 0
+    stale_owner_lookups: int = 0
+    fence_waits: int = 0
+
+
+class AsapThread:
+    """Engine-side state of one hardware thread."""
+
+    def __init__(self, thread_id: int, core_id: int, regs: ThreadStateRegisters, log: UndoLog):
+        self.thread_id = thread_id
+        self.core_id = core_id
+        self.regs = regs
+        self.log = log
+        #: packed rid of the currently-executing region, None outside regions
+        self.active_rid: Optional[int] = None
+        #: packed rid of the latest region begun by this thread
+        self.last_rid: Optional[int] = None
+        #: per-region commit signals for asap_fence
+        self.commit_signals: Dict[int, Signal] = {}
+
+
+class AsapEngine:
+    """The full ASAP mechanism for one machine."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheduler: Scheduler,
+        memory: MemorySystem,
+        hierarchy: CacheHierarchy,
+        volatile: MemoryImage,
+        pm_alloc: Callable[[int], int],
+    ):
+        """
+        Args:
+            pm_alloc: allocates persistent memory (used for log buffers and
+                log growth); provided by the runtime heap.
+        """
+        self.config = config
+        self.params = config.asap
+        self.scheduler = scheduler
+        self.memory = memory
+        self.hierarchy = hierarchy
+        self.volatile = volatile
+        self.pm_alloc = pm_alloc
+        self.stats = AsapStats()
+
+        self.cl_lists: List[CLList] = [
+            CLList(core, scheduler, self.params.cl_list_entries, self.params.clptr_slots)
+            for core in range(config.num_cores)
+        ]
+        num_channels = config.memory.num_channels
+        self.dep_lists: List[DependenceList] = [
+            DependenceList(ch, scheduler, self.params.dependence_list_entries, self.params.dep_slots)
+            for ch in range(num_channels)
+        ]
+        self.lh_wpqs: List[LogHeaderWPQ] = [
+            LogHeaderWPQ(f"lh-wpq[{ch}]", scheduler, self.params.lh_wpq_entries)
+            for ch in range(num_channels)
+        ]
+        self.spill = OwnerSpillBuffer(
+            num_channels, self.params.bloom_filter_bits, self.params.bloom_hashes
+        )
+        self.threads: Dict[int, AsapThread] = {}
+        #: commit listeners, e.g. the recovery oracle
+        self.on_commit: List[Callable[[int], None]] = []
+        self._quiescent_waiters: List[Callable[[], None]] = []
+
+        hierarchy.evict_hook = self._on_llc_evict
+        hierarchy.reload_hook = self._on_pm_reload
+
+    # ------------------------------------------------------------------
+    # structure lookups
+    # ------------------------------------------------------------------
+
+    def dep_list_for(self, rid: int) -> DependenceList:
+        """The Dependence List hosting ``rid`` (by LocalRID LSBs, Sec. 5.6)."""
+        return self.dep_lists[local_rid_of(rid) % len(self.dep_lists)]
+
+    def lh_wpq_for(self, header_addr: int) -> LogHeaderWPQ:
+        return self.lh_wpqs[(header_addr >> 6) % len(self.lh_wpqs)]
+
+    def uncommitted_count(self) -> int:
+        return sum(len(dl) for dl in self.dep_lists)
+
+    # ------------------------------------------------------------------
+    # thread lifecycle (asap_init)
+    # ------------------------------------------------------------------
+
+    def register_thread(self, thread_id: int, core_id: int) -> AsapThread:
+        """``asap_init()``: allocate the log buffer, set up the registers."""
+        if thread_id in self.threads:
+            raise SimulationError(f"thread {thread_id} already registered")
+        record_stride = (1 + self.params.log_data_entries_per_record) * 64
+        num_records = max(
+            1, self.params.initial_log_entries // self.params.log_data_entries_per_record
+        )
+        base = self.pm_alloc(num_records * record_stride)
+        regs = ThreadStateRegisters(
+            thread_id=thread_id,
+            log_address=base,
+            log_size=num_records * record_stride,
+        )
+        log = UndoLog(
+            thread_id,
+            base,
+            num_records,
+            self.params.log_data_entries_per_record,
+            grow_fn=self.pm_alloc,
+        )
+        thread = AsapThread(thread_id, core_id, regs, log)
+        self.threads[thread_id] = thread
+        return thread
+
+    # ------------------------------------------------------------------
+    # asap_begin
+    # ------------------------------------------------------------------
+
+    def begin(self, thread: AsapThread, done: Callable[[], None]) -> None:
+        thread.regs.nest_depth += 1
+        if thread.regs.nest_depth > 1:
+            done()  # nested regions are flattened (Sec. 4.5)
+            return
+        self._begin_top_level(thread, done)
+
+    def _begin_top_level(self, thread: AsapThread, done: Callable[[], None]) -> None:
+        cl = self.cl_lists[thread.core_id]
+        if cl.full:
+            cl.entry_stalls += 1
+            cl.entry_waiters.park(lambda: self._begin_top_level(thread, done))
+            return
+        next_local = thread.regs.cur_local_rid + 1
+        rid = pack_rid(thread.thread_id, next_local)
+        dl = self.dep_list_for(rid)
+        if dl.full:
+            dl.entry_stalls += 1
+            dl.entry_waiters.park(lambda: self._begin_top_level(thread, done))
+            return
+        thread.regs.cur_local_rid = next_local
+        cl.open_entry(rid)
+        entry = dl.open_entry(rid)
+        # Control dependence on the thread's previous region (Sec. 4.5).
+        prev = previous_rid(rid)
+        if prev is not None and self.dep_list_for(prev).contains(prev):
+            entry.deps.add(prev)
+        thread.active_rid = rid
+        thread.last_rid = rid
+        thread.commit_signals[rid] = Signal(self.scheduler)
+        self.stats.regions_begun += 1
+        done()
+
+    # ------------------------------------------------------------------
+    # asap_end
+    # ------------------------------------------------------------------
+
+    def end(self, thread: AsapThread, done: Callable[[], None]) -> None:
+        if thread.regs.nest_depth <= 0:
+            raise SimulationError(
+                f"thread {thread.thread_id}: asap_end without matching begin"
+            )
+        thread.regs.nest_depth -= 1
+        if thread.regs.nest_depth > 0:
+            done()
+            return
+        rid = thread.active_rid
+        if rid is None:
+            raise SimulationError("no active region at top-level asap_end")
+        thread.active_rid = None
+        self.stats.regions_ended += 1
+        entry = self.cl_lists[thread.core_id].entry(rid)
+        if entry is None:
+            raise SimulationError(f"missing CL entry for {rid} at asap_end")
+        entry.state = RegionState.DONE  # Fig. 4 transition (2)
+        self._drain_entry(entry, thread)
+        if entry.drained:
+            self._finish_at_l1(entry, thread)
+        # Asynchronous commit: execution proceeds immediately.
+        done()
+
+    # ------------------------------------------------------------------
+    # memory accesses
+    # ------------------------------------------------------------------
+
+    def write(
+        self,
+        thread: AsapThread,
+        addr: int,
+        values,
+        done: Callable[[], None],
+    ) -> None:
+        """A store by ``thread``; ``values`` are the words to write.
+
+        The functional write applies immediately; persistence machinery may
+        delay retirement (``done``) on structural stalls only.
+        """
+        line = line_base(addr)
+        pm = self.hierarchy.is_persistent(line)
+        old_snapshot = None
+        if pm and thread.active_rid is not None:
+            old_snapshot = {w: self.volatile.read_word(w) for w in words_of_line(line)}
+        self.volatile.write_range(addr, values)
+        rid = thread.active_rid
+
+        def after_access(meta: LineMeta) -> None:
+            if not pm or rid is None:
+                done()
+                return
+            self._region_write(thread, rid, meta, old_snapshot, done)
+
+        self.hierarchy.access(thread.core_id, addr, True, after_access)
+
+    def read(
+        self,
+        thread: AsapThread,
+        addr: int,
+        nwords: int,
+        done: Callable[[list], None],
+    ) -> None:
+        """A load by ``thread``; ``done`` receives the word values."""
+        line = line_base(addr)
+        pm = self.hierarchy.is_persistent(line)
+        rid = thread.active_rid
+
+        def after_access(meta: LineMeta) -> None:
+            def deliver() -> None:
+                values = [
+                    self.volatile.read_word(addr + 8 * i) for i in range(nwords)
+                ]
+                done(values)
+
+            if pm and rid is not None:
+                # Sec. 4.6.3: reads also capture data dependences.
+                self._capture_dependence(thread, rid, meta, deliver)
+            else:
+                deliver()
+
+        self.hierarchy.access(thread.core_id, addr, False, after_access)
+
+    # -- the region-write pipeline ----------------------------------------
+
+    def _region_write(
+        self,
+        thread: AsapThread,
+        rid: int,
+        meta: LineMeta,
+        old_snapshot: Dict[int, int],
+        done: Callable[[], None],
+    ) -> None:
+        def after_dep() -> None:
+            self._ensure_slot(thread, rid, meta, old_snapshot, done)
+
+        self._capture_dependence(thread, rid, meta, after_dep)
+
+    def _capture_dependence(
+        self,
+        thread: AsapThread,
+        rid: int,
+        meta: LineMeta,
+        then: Callable[[], None],
+    ) -> None:
+        """Sec. 4.6.3: if the line is owned by another region, add a Dep."""
+        owner = meta.owner_rid
+        if owner is None or owner == rid:
+            then()
+            return
+        owner_dl = self.dep_list_for(owner)
+        if not owner_dl.contains(owner):
+            # The owner already committed; the tag is stale (Sec. 5.8).
+            self.stats.stale_owner_lookups += 1
+            meta.owner_rid = None
+            self.spill.discard(meta.line)
+            then()
+            return
+        my_dl = self.dep_list_for(rid)
+        entry = my_dl.entry(rid)
+        if entry is None:
+            raise SimulationError(f"no Dependence entry for active region {rid}")
+        if owner in entry.deps:
+            then()
+            return
+        if entry.deps_full:
+            # Stall until a Dep slot frees (a dependency commits).
+            my_dl.dep_stalls += 1
+            my_dl.dep_waiters.park(
+                lambda: self._capture_dependence(thread, rid, meta, then)
+            )
+            return
+        entry.deps.add(owner)
+        self.stats.dep_captures += 1
+        then()
+
+    def _ensure_slot(
+        self,
+        thread: AsapThread,
+        rid: int,
+        meta: LineMeta,
+        old_snapshot: Dict[int, int],
+        done: Callable[[], None],
+    ) -> None:
+        """Sec. 4.6.2: track the modified line in a CLPtr slot."""
+        cl = self.cl_lists[thread.core_id]
+        entry = cl.entry(rid)
+        if entry is None:
+            raise SimulationError(f"no CL entry for active region {rid}")
+        slot = entry.slot_for(meta.line)
+        if slot is None:
+            if entry.slots_full:
+                cl.slot_stalls += 1
+                # Waive the coalescing distance while stalled: a pending
+                # DPO must drain to free a slot (Sec. 4.6.2).
+                entry.pressure = True
+                self._coalescing_scan(entry, thread)
+                cl.slot_waiters.park(
+                    lambda: self._ensure_slot(thread, rid, meta, old_snapshot, done)
+                )
+                return
+            entry.pressure = False
+            slot = entry.add_slot(meta.line)
+        self._after_slot(thread, rid, entry, slot, meta, old_snapshot, done)
+
+    def _after_slot(
+        self,
+        thread: AsapThread,
+        rid: int,
+        entry: CLEntry,
+        slot: CLSlot,
+        meta: LineMeta,
+        old_snapshot: Dict[int, int],
+        done: Callable[[], None],
+    ) -> None:
+        first_write = meta.owner_rid != rid
+        # Per-write bookkeeping (drives coalescing and DPO staleness).
+        entry.write_counter += 1
+        slot.last_write_stamp = entry.write_counter
+        slot.data_version += 1
+        slot.pending = True
+        slot.eager_backlog += 1
+
+        def finish() -> None:
+            self._coalescing_scan(entry, thread)
+            done()
+
+        if first_write:
+            self._initiate_lpo(thread, rid, meta, old_snapshot, finish)
+        else:
+            finish()
+
+    # -- LPO path -----------------------------------------------------------
+
+    def _initiate_lpo(
+        self,
+        thread: AsapThread,
+        rid: int,
+        meta: LineMeta,
+        old_snapshot: Dict[int, int],
+        then: Callable[[], None],
+    ) -> None:
+        """Sec. 4.6.1: lock the line, take ownership, log the old value."""
+        meta.lock_count += 1
+        meta.owner_rid = rid
+        line = meta.line
+        slot_idx, entry_addr, record, opened, sealed = thread.log.append(rid, line)
+        if sealed is not None:
+            self._seal_record(sealed, rid)
+
+        def issue() -> None:
+            # The logged value travels to the WPQ together with the header
+            # word that names it (Sec. 5.5: "ASAP sends the logged value to
+            # the WPQ and the address to the LH-WPQ"): the entry becomes
+            # visible to recovery exactly when its value is durable.
+            payload = {
+                entry_addr + (w - line): old_snapshot.get(w, 0)
+                for w in words_of_line(line)
+            }
+            payload[record.header_addr] = rid
+            payload[record.header_word_addr(slot_idx)] = line
+
+            def accepted(op: PersistOp) -> None:
+                record.confirm(slot_idx)
+                self._lpo_accepted(op, thread)
+
+            op = PersistOp(
+                kind=LPO,
+                target_line=entry_addr,
+                data_line=line,
+                payload=payload,
+                rid=rid,
+                on_complete=accepted,
+            )
+            self.stats.lpos_initiated += 1
+            self.memory.issue_persist(op)
+            # Instruction execution proceeds while the LPO is in flight.
+            then()
+
+        if opened:
+            # A fresh record needs an LH-WPQ entry; a full LH-WPQ stalls the
+            # first write of the record (Sec. 7.4's sensitivity lever).
+            self.lh_wpq_for(record.header_addr).acquire(record, issue)
+        else:
+            issue()
+
+    def _seal_record(self, record: LogRecord, rid: int) -> None:
+        """A filled record's header moves from the LH-WPQ to the WPQ."""
+        self.lh_wpq_for(record.header_addr).release(record.header_addr)
+        self._write_header(record, rid)
+
+    def _write_header(self, record: LogRecord, rid: int) -> None:
+        # Lazy payload: the set of confirmed entries may still grow while
+        # this header write sits in the queue; the durable header must never
+        # zero out a word naming an already-accepted LPO.
+        op = PersistOp(
+            kind=LOGHDR,
+            target_line=record.header_addr,
+            data_line=record.header_addr,
+            payload=record.header_payload,
+            rid=rid,
+        )
+        self.stats.loghdr_writes += 1
+        self.memory.issue_persist(op)
+
+    def _lpo_accepted(self, op: PersistOp, thread: AsapThread) -> None:
+        """The WPQ accepted an LPO: unlock the line, run DPO dropping."""
+        line = op.data_line
+        meta = self.hierarchy.tags.get(line)
+        if meta is not None and meta.lock_count > 0:
+            meta.lock_count -= 1
+        if self.params.dpo_dropping:
+            # Sec. 5.1: a queued DPO for the same line holds the same bytes
+            # this LPO just logged; it need not reach PM.
+            dropped = self.memory.channel_for_line(line).wpq.drop_where(
+                lambda q: q.kind in (DPO, WB)
+                and q.target_line == line
+                and q.op_id != op.op_id
+            )
+            self.stats.dpo_drops += dropped
+        # Slots may have been waiting on the LockBit to issue their DPOs -
+        # including slots of *earlier* regions that wrote the same line
+        # before this op's region took ownership.
+        self._try_issue_dpos_for_line(line)
+
+    def _try_issue_dpos_for_line(self, line: int) -> None:
+        for cl in self.cl_lists:
+            for entry in list(cl.entries()):
+                slot = entry.slot_for(line)
+                if slot is None:
+                    continue
+                if self._dpo_ready(entry, slot):
+                    thread = self.threads.get(entry.rid >> 32)
+                    if thread is not None:
+                        self._initiate_dpo(entry, slot, thread)
+
+    # -- DPO path -----------------------------------------------------------
+
+    def _dpo_ready(self, entry: CLEntry, slot: CLSlot) -> bool:
+        """The Sec. 4.6.2 initiation policy for one slot.
+
+        Without coalescing (the Fig. 9a ``No-Opt`` ablation) a DPO is
+        initiated for every write, even while an earlier DPO for the same
+        line is still in flight - that redundancy is exactly what the
+        distance-4 policy exists to remove.
+        """
+        if not slot.pending:
+            return False
+        meta = self.hierarchy.tags.get(slot.line)
+        if meta is not None and meta.lock_bit:
+            return False  # LPO still in flight
+        if not self.params.dpo_coalescing:
+            return True  # ablation: eager DPO on every write
+        if slot.dpo_inflight:
+            return False
+        if entry.state is RegionState.DONE:
+            return True  # region ended: drain everything
+        if entry.pressure:
+            return True  # a write is stalled on a slot: drain eagerly
+        distance = entry.write_counter - slot.last_write_stamp
+        return distance >= self.config.asap.dpo_distance
+
+    def _coalescing_scan(self, entry: CLEntry, thread: AsapThread) -> None:
+        for slot in list(entry.slots.values()):
+            if self._dpo_ready(entry, slot):
+                self._initiate_dpo(entry, slot, thread)
+
+    def _drain_entry(self, entry: CLEntry, thread: AsapThread) -> None:
+        """asap_end: initiate DPOs for every slot whose LPO has completed."""
+        for slot in list(entry.slots.values()):
+            if self._dpo_ready(entry, slot):
+                self._initiate_dpo(entry, slot, thread)
+
+    def _initiate_dpo(self, entry: CLEntry, slot: CLSlot, thread: AsapThread) -> None:
+        line = slot.line
+        meta = self.hierarchy.tags.get(line)
+        payload = {w: self.volatile.read_word(w) for w in words_of_line(line)}
+        version = slot.data_version
+        if not self.params.dpo_coalescing and slot.eager_backlog > 1:
+            # No-Opt ablation: one DPO per write. All but the newest are
+            # redundant same-data writebacks; only the newest clears the
+            # slot, so they carry no completion callback.
+            for _ in range(slot.eager_backlog - 1):
+                self.stats.dpos_initiated += 1
+                self.memory.issue_persist(
+                    PersistOp(
+                        kind=DPO,
+                        target_line=line,
+                        data_line=line,
+                        payload=payload,
+                        rid=entry.rid,
+                    )
+                )
+        slot.eager_backlog = 0
+        slot.dpo_inflight = True
+        slot.pending = False
+        if meta is not None:
+            meta.dirty = False  # the writeback is on its way
+        op = PersistOp(
+            kind=DPO,
+            target_line=line,
+            data_line=line,
+            payload=payload,
+            rid=entry.rid,
+            on_complete=lambda op: self._dpo_accepted(entry, slot, version, thread),
+        )
+        self.stats.dpos_initiated += 1
+        self.memory.issue_persist(op)
+
+    def _dpo_accepted(
+        self, entry: CLEntry, slot: CLSlot, version: int, thread: AsapThread
+    ) -> None:
+        slot.dpo_inflight = False
+        if slot.data_version != version:
+            # The line was rewritten while the DPO was in flight; its data
+            # is stale for slot-clearing purposes. Issue a fresh one.
+            self.stats.dpos_reinitiated += 1
+            self._retry_dpo(entry, slot, thread)
+            return
+        self._clear_slot(entry, slot, thread)
+
+    def _retry_dpo(self, entry: CLEntry, slot: CLSlot, thread: AsapThread) -> None:
+        """Re-issue a DPO once the slot is ready; polls on the rare path
+        where the line is transiently locked by a successor region's LPO."""
+        if entry.slot_for(slot.line) is not slot or slot.dpo_inflight:
+            return
+        if not slot.pending:
+            return
+        if self._dpo_ready(entry, slot) or (
+            entry.state is RegionState.DONE and not self._line_locked(slot.line)
+        ):
+            self._initiate_dpo(entry, slot, thread)
+        else:
+            self.scheduler.after(50, lambda: self._retry_dpo(entry, slot, thread))
+
+    def _line_locked(self, line: int) -> bool:
+        meta = self.hierarchy.tags.get(line)
+        return bool(meta and meta.lock_bit)
+
+    def _clear_slot(self, entry: CLEntry, slot: CLSlot, thread: AsapThread) -> None:
+        entry.clear_slot(slot.line)
+        cl = self.cl_lists[thread.core_id]
+        cl.slot_waiters.wake_one()
+        if entry.state is RegionState.DONE and entry.drained:
+            self._finish_at_l1(entry, thread)
+
+    # -- commit machinery -----------------------------------------------------
+
+    def _finish_at_l1(self, entry: CLEntry, thread: AsapThread) -> None:
+        """Fig. 4 transition (3): all DPOs complete, no more writes."""
+        rid = entry.rid
+        if self.cl_lists[thread.core_id].entry(rid) is not entry:
+            return  # already finished (duplicate completion)
+        self.cl_lists[thread.core_id].remove_entry(rid)
+        dl = self.dep_list_for(rid)
+        dep_entry = dl.entry(rid)
+        if dep_entry is None:
+            raise SimulationError(f"region {rid} lost its Dependence entry")
+        dep_entry.state = RegionState.DONE
+        if dep_entry.committable:
+            self._commit(rid)
+
+    def _commit(self, rid: int) -> None:
+        """Fig. 4 transition (4): free the log, clear the entry, broadcast."""
+        thread = self.threads[rid >> 32]
+        dl = self.dep_list_for(rid)
+        dl.remove_entry(rid)
+        open_record = thread.log.open_record(rid)
+        records = thread.log.free(rid)
+        for lh in self.lh_wpqs:
+            lh.release_region(rid)
+        if self.params.lpo_dropping:
+            # Sec. 5.1: log writes of a committed region still queued in a
+            # WPQ need not reach PM.
+            dropped = self.memory.drop_from_wpqs(
+                lambda q: q.rid == rid and q.kind in (LPO, LOGHDR)
+            )
+            self.stats.lpo_drops += dropped
+        elif open_record is not None and open_record.entries:
+            # Without LPO dropping the final partial record's header is
+            # written out like any sealed record's.
+            self._write_header(open_record, rid)
+        self.stats.commits += 1
+        # Broadcast completion to every Dependence List (Sec. 4.8).
+        for other_dl in self.dep_lists:
+            for ready in other_dl.clear_dependency(rid):
+                ready_rid = ready.rid
+                self.scheduler.after(0, lambda r=ready_rid: self._commit_if_still_ready(r))
+        signal = thread.commit_signals.pop(rid, None)
+        if signal is not None:
+            signal.fire()
+        for listener in self.on_commit:
+            listener(rid)
+        if self.uncommitted_count() == 0:
+            # Safe point to clear the Bloom filters (Sec. 5.3).
+            for ch in range(len(self.dep_lists)):
+                self.spill.clear_channel(ch)
+            waiters, self._quiescent_waiters = self._quiescent_waiters, []
+            for resume in waiters:
+                self.scheduler.after(0, resume)
+
+    def _commit_if_still_ready(self, rid: int) -> None:
+        entry = self.dep_list_for(rid).entry(rid)
+        if entry is not None and entry.committable:
+            self._commit(rid)
+
+    # ------------------------------------------------------------------
+    # asap_fence (Sec. 5.2)
+    # ------------------------------------------------------------------
+
+    def fence(self, thread: AsapThread, done: Callable[[], None]) -> None:
+        """Block until the thread's last region (and its deps) committed."""
+        rid = thread.last_rid
+        if rid is None or rid not in thread.commit_signals:
+            done()
+            return
+        self.stats.fence_waits += 1
+        thread.commit_signals[rid].wait(done)
+
+    def when_quiescent(self, done: Callable[[], None]) -> None:
+        """Run ``done`` once no uncommitted region remains (test harness)."""
+        if self.uncommitted_count() == 0:
+            self.scheduler.after(0, done)
+        else:
+            self._quiescent_waiters.append(done)
+
+    # ------------------------------------------------------------------
+    # context switching (Sec. 5.7)
+    # ------------------------------------------------------------------
+
+    def context_switch(self, thread: AsapThread, new_core: int, done: Callable[[], None]) -> None:
+        """Migrate ``thread`` to ``new_core``.
+
+        The thread state registers travel with the process state; the
+        suspended thread's CL List entry must be *cleared* first - its
+        remaining CLPtr persist operations complete on the old core - so
+        the thread can safely resume on a different core (whose CL List
+        knows nothing of the old entries). An In-Progress region simply
+        continues afterwards: its Dependence List entry lives at the
+        memory controller and is core-agnostic.
+        """
+        if thread.regs.nest_depth > 0 and thread.active_rid is not None:
+            raise SimulationError(
+                "context switch inside an atomic region is not modelled; "
+                "switch between regions (the paper suspends at quantum "
+                "boundaries, completing outstanding persist operations)"
+            )
+        saved = thread.regs.save()
+        old_cl = self.cl_lists[thread.core_id]
+
+        def try_drain() -> None:
+            # Wait until every CL entry of this thread's regions cleared
+            # (all their DPOs complete); they cannot gain new slots since
+            # no region is active.
+            mine = [
+                e for e in old_cl.entries() if (e.rid >> 32) == thread.thread_id
+            ]
+            if mine:
+                for entry in mine:
+                    self._drain_entry(entry, thread)
+                self.scheduler.after(25, try_drain)
+                return
+            thread.regs = ThreadStateRegisters.restore(saved)
+            thread.core_id = new_core
+            done()
+
+        try_drain()
+
+    # ------------------------------------------------------------------
+    # LLC eviction hooks (Sec. 5.3)
+    # ------------------------------------------------------------------
+
+    def _on_llc_evict(self, meta: LineMeta, wb_op: Optional[PersistOp]) -> None:
+        if meta.lock_bit:
+            raise SimulationError(
+                f"locked line {meta.line:#x} evicted (LPO in flight)"
+            )
+        owner = meta.owner_rid
+        owner_active = owner is not None and self.dep_list_for(owner).contains(owner)
+        if owner_active:
+            self.spill.spill(meta.line, owner)
+            # If the owner still tracks this line in a CLPtr slot, the
+            # eviction writeback doubles as the slot's data persist.
+            thread = self.threads.get(owner >> 32)
+            if thread is not None:
+                entry = self.cl_lists[thread.core_id].entry(owner)
+                if entry is not None:
+                    slot = entry.slot_for(meta.line)
+                    if slot is not None and wb_op is not None and not slot.dpo_inflight:
+                        version = slot.data_version
+                        slot.dpo_inflight = True
+                        slot.pending = False
+                        wb_op.on_complete = (
+                            lambda op: self._dpo_accepted(entry, slot, version, thread)
+                        )
+
+    def _on_pm_reload(self, line: int):
+        """LLC miss on a persistent line: recover a spilled OwnerRID."""
+        owner, extra = self.spill.lookup(line)
+        if owner is None:
+            return None, extra
+        if not self.dep_list_for(owner).contains(owner):
+            # Owner committed while the line was in memory: discard.
+            self.spill.discard(line)
+            return None, extra
+        return owner, extra

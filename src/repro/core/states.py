@@ -1,0 +1,27 @@
+"""The atomic-region state machine (Fig. 4).
+
+A region has two state fields - one in its CL List entry (at the L1) and
+one in its Dependence List entry (at the memory controller):
+
+==============  ==============  =======================================
+State@L1        State@MC        Meaning
+==============  ==============  =======================================
+IN_PROGRESS     IN_PROGRESS     between ``asap_begin`` and ``asap_end``
+DONE            IN_PROGRESS     past ``asap_end``; DPOs still draining
+(entry gone)    DONE            all modified lines persisted; waiting
+                                for dependencies
+(entry gone)    (entry gone)    committed
+==============  ==============  =======================================
+"""
+
+import enum
+
+
+class RegionState(enum.Enum):
+    """State value stored in CL List and Dependence List entries."""
+
+    IN_PROGRESS = "InProgress"
+    DONE = "Done"
+
+    def __str__(self) -> str:
+        return self.value

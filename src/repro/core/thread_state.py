@@ -1,0 +1,52 @@
+"""Per-thread state registers (Fig. 3 (1), Sec. 4.4).
+
+``asap_init()`` allocates the thread's log buffer and fills these in. On a
+context switch they are saved and restored as part of the process state
+(Sec. 5.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ThreadStateRegisters:
+    """The six ASAP registers of one hardware thread.
+
+    Attributes:
+        thread_id: identifies the thread inside packed RIDs.
+        log_address: base address of the thread's log buffer in PM.
+        log_size: size of the log buffer in bytes.
+        log_head: index of the oldest live log record.
+        log_tail: index one past the newest allocated log record.
+        cur_local_rid: LocalRID of the current (or latest) atomic region.
+        nest_depth: atomic-region nesting depth; nested regions are
+            flattened in hardware, so only the 0 -> 1 and 1 -> 0 transitions
+            have architectural effects (Secs. 4.5, 4.7).
+    """
+
+    thread_id: int
+    log_address: int = 0
+    log_size: int = 0
+    log_head: int = 0
+    log_tail: int = 0
+    cur_local_rid: int = 0
+    nest_depth: int = 0
+
+    def save(self) -> dict:
+        """Snapshot for a context switch (Sec. 5.7)."""
+        return {
+            "thread_id": self.thread_id,
+            "log_address": self.log_address,
+            "log_size": self.log_size,
+            "log_head": self.log_head,
+            "log_tail": self.log_tail,
+            "cur_local_rid": self.cur_local_rid,
+            "nest_depth": self.nest_depth,
+        }
+
+    @staticmethod
+    def restore(state: dict) -> "ThreadStateRegisters":
+        """Rebuild registers from a :meth:`save` snapshot."""
+        return ThreadStateRegisters(**state)

@@ -1,0 +1,12 @@
+"""Discrete-event simulation kernel.
+
+A single :class:`~repro.engine.scheduler.Scheduler` drives the whole machine:
+cores, memory controllers, and the ASAP commit machinery all schedule
+callbacks on it. Determinism is guaranteed by breaking time ties with a
+monotonically increasing sequence number.
+"""
+
+from repro.engine.scheduler import Scheduler, Event
+from repro.engine.waiters import WaitQueue, Signal
+
+__all__ = ["Scheduler", "Event", "WaitQueue", "Signal"]

@@ -1,0 +1,110 @@
+"""The event queue at the heart of the simulator.
+
+Every timed activity in the machine is a callback scheduled at an absolute
+cycle. Callbacks scheduled for the same cycle run in scheduling order
+(FIFO), which keeps runs bit-for-bit deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.common.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, seq)``; ``seq`` is assigned by the
+    scheduler and guarantees FIFO order among same-cycle events.
+    """
+
+    time: int
+    seq: int
+    fn: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; cheap (lazy deletion)."""
+        self.cancelled = True
+
+
+class Scheduler:
+    """A deterministic discrete-event scheduler with an integer clock."""
+
+    def __init__(self):
+        self._queue: list[Event] = []
+        self._seq = 0
+        self.now: int = 0
+        self._running = False
+
+    def __len__(self) -> int:
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    def at(self, time: int, fn: Callable[[], Any]) -> Event:
+        """Schedule ``fn`` to run at absolute cycle ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past (now={self.now}, time={time})"
+            )
+        ev = Event(int(time), self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def after(self, delay: int, fn: Callable[[], Any]) -> Event:
+        """Schedule ``fn`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self.now + int(delay), fn)
+
+    def peek_time(self) -> Optional[int]:
+        """Return the cycle of the next pending event, or None when idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the next event. Returns False when the queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            if ev.time < self.now:
+                raise SimulationError("event queue time went backwards")
+            self.now = ev.time
+            ev.fn()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Args:
+            until: stop once the clock would pass this cycle (events at
+                exactly ``until`` still run).
+            max_events: safety valve against runaway simulations.
+
+        Returns:
+            The number of events executed.
+        """
+        executed = 0
+        while True:
+            nxt = self.peek_time()
+            if nxt is None:
+                break
+            if until is not None and nxt > until:
+                break
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; possible livelock"
+                )
+            self.step()
+            executed += 1
+        if until is not None and self.now < until:
+            # Idle until the bound (the next event, if any, is beyond it).
+            self.now = until
+        return executed

@@ -1,0 +1,79 @@
+"""Blocking primitives built on the scheduler.
+
+Hardware structures in the model (WPQ, CL List slots, Dep slots, locks)
+block their clients when full or busy; these helpers centralise the
+wake-one / wake-all bookkeeping so each structure does not reinvent it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque
+
+from repro.engine.scheduler import Scheduler
+
+
+class WaitQueue:
+    """FIFO of parked callbacks, woken one at a time.
+
+    Used for finite resources: a client that finds the resource full parks a
+    continuation here; whoever frees a unit wakes exactly one client.
+    """
+
+    def __init__(self, scheduler: Scheduler):
+        self._scheduler = scheduler
+        self._waiters: Deque[Callable[[], None]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._waiters)
+
+    def park(self, resume: Callable[[], None]) -> None:
+        """Park ``resume`` until :meth:`wake_one` reaches it."""
+        self._waiters.append(resume)
+
+    def wake_one(self) -> bool:
+        """Schedule the oldest parked continuation for this cycle.
+
+        Returns True when a waiter existed.
+        """
+        if not self._waiters:
+            return False
+        resume = self._waiters.popleft()
+        self._scheduler.after(0, resume)
+        return True
+
+    def wake_all(self) -> int:
+        """Schedule every parked continuation; returns how many."""
+        count = 0
+        while self.wake_one():
+            count += 1
+        return count
+
+
+class Signal:
+    """A broadcast condition: waiters block until :meth:`fire` is called.
+
+    Unlike :class:`WaitQueue`, firing releases everyone (used for "region X
+    has committed" style notifications such as ``asap_fence``).
+    """
+
+    def __init__(self, scheduler: Scheduler):
+        self._scheduler = scheduler
+        self._waiters: list[Callable[[], None]] = []
+        self.fired = False
+
+    def wait(self, resume: Callable[[], None]) -> None:
+        """Run ``resume`` when the signal fires (immediately if it has)."""
+        if self.fired:
+            self._scheduler.after(0, resume)
+        else:
+            self._waiters.append(resume)
+
+    def fire(self) -> None:
+        """Release all current and future waiters."""
+        if self.fired:
+            return
+        self.fired = True
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            self._scheduler.after(0, resume)

@@ -1,0 +1,14 @@
+"""The experiment harness: regenerate every table and figure.
+
+Each experiment module exposes ``run(quick=...)`` returning an
+:class:`~repro.harness.experiment.ExperimentResult` whose rows mirror the
+paper's plot series, plus the paper's reference numbers so the output
+reads as a paper-vs-measured comparison. The CLI
+(``python -m repro.harness.run <experiment>`` or the installed
+``asap-repro`` script) prints them as text tables.
+"""
+
+from repro.harness.experiment import ExperimentResult, geomean
+from repro.harness.runner import run_once, default_config, default_params
+
+__all__ = ["ExperimentResult", "geomean", "run_once", "default_config", "default_params"]

@@ -1,0 +1,161 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    asap-repro fig7                # one experiment, quick mode
+    asap-repro all --full          # everything, full-size machine
+    asap-repro config              # dump the Table 2 configuration
+    asap-repro workloads           # list the Table 3 benchmarks
+    python -m repro.harness.run fig9b
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.common.params import SystemConfig
+from repro.harness.experiments import REGISTRY
+from repro.workloads import WorkloadParams, get_workload, workload_names
+
+
+def _dump_config() -> str:
+    cfg = SystemConfig()
+    lines = ["Table 2: system configuration"]
+    lines.append(f"  cores: {cfg.num_cores}")
+    for name, c in (("L1", cfg.l1), ("L2", cfg.l2), ("L3", cfg.l3)):
+        lines.append(
+            f"  {name}: {c.size_bytes // 1024} KB, {c.assoc}-way, {c.latency} cycles"
+        )
+    m = cfg.memory
+    lines.append(
+        f"  memory: {m.num_controllers} MCs x {m.channels_per_controller} "
+        f"channels, {m.wpq_entries} WPQ entries/channel"
+    )
+    a = cfg.asap
+    lines.append(
+        f"  ASAP: CL List {a.cl_list_entries} entries/core ({a.clptr_slots} "
+        f"CLPtrs), Dependence List {a.dependence_list_entries}/channel "
+        f"({a.dep_slots} Deps), LH-WPQ {a.lh_wpq_entries}/channel, "
+        f"Bloom {a.bloom_filter_bits // 8} B/channel"
+    )
+    return "\n".join(lines)
+
+
+def _dump_workloads() -> str:
+    lines = ["Table 3: benchmarks"]
+    for name in workload_names():
+        wl = get_workload(name, WorkloadParams())
+        lines.append(f"  {name:<6s} {wl.description}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="asap-repro",
+        description="Regenerate the ASAP paper's tables and figures",
+    )
+    parser.add_argument(
+        "experiment",
+        help=f"one of {sorted(REGISTRY)}, 'all', 'config', 'workloads', "
+        "'summary', or 'crashtest'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the full Table 2 machine and workload sizes (slow)",
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        help="restrict to these Table 3 workloads",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also dump every experiment's rows as JSON to FILE",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        metavar="DIR",
+        default=None,
+        help="also write one CSV per experiment into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "config":
+        print(_dump_config())
+        return 0
+    if args.experiment == "workloads":
+        print(_dump_workloads())
+        return 0
+    if args.experiment == "summary":
+        from repro.harness.experiments import fig7, fig8, fig9b
+        from repro.area import estimate_area
+
+        workloads = args.workloads or ["BN", "HM", "Q"]
+        f7 = fig7.run(quick=not args.full, workloads=workloads, sizes=[64])
+        f8 = fig8.run(quick=not args.full, workloads=workloads, sizes=[64])
+        f9 = fig9b.run(quick=not args.full, workloads=workloads)
+        area_pct = estimate_area().total_overhead * 100
+        gm7, gm8, gm9 = f7.rows["GeoMean"], f8.rows["GeoMean"], f9.rows["GeoMean"]
+        print("headline claims (paper -> measured, geomean over "
+              f"{', '.join(workloads)}):")
+        print(f"  speedup over SW:        ASAP 2.25x -> {gm7['ASAP']:.2f}x")
+        print(f"  vs no-persistence:      0.96x NP   -> {gm7['ASAP'] / gm7['NP']:.2f}x NP")
+        print(f"  region latency vs NP:   1.08x      -> {gm8['ASAP']:.2f}x")
+        print(f"  traffic vs HWUndo:      0.52x      -> {1 / gm9['HWUndo']:.2f}x")
+        print(f"  traffic vs HWRedo:      0.62x      -> {1 / gm9['HWRedo']:.2f}x")
+        print(f"  area overhead:          ~2.5%      -> {area_pct:.2f}%")
+        return 0
+    if args.experiment == "crashtest":
+        from repro.harness.crashtest import run_crashtest
+        from repro.workloads import workload_names
+
+        targets = args.workloads or workload_names()
+        failed = False
+        for name in targets:
+            for scheme in ("asap", "asap_redo"):
+                report = run_crashtest(workload=name, scheme=scheme)
+                print(report.summary())
+                failed = failed or not report.ok
+        return 1 if failed else 0
+
+    names = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
+    collected = {}
+    for name in names:
+        if name not in REGISTRY:
+            parser.error(f"unknown experiment {name!r}; choose from {sorted(REGISTRY)}")
+        start = time.time()
+        kwargs = {}
+        if args.workloads and name != "area":
+            kwargs["workloads"] = args.workloads
+        result = REGISTRY[name](quick=not args.full, **kwargs)
+        results = result if isinstance(result, list) else [result]
+        for r in results:
+            print(r.to_table())
+            print()
+        collected[name] = [r.to_dict() for r in results]
+        if args.csv_dir:
+            import pathlib
+
+            out = pathlib.Path(args.csv_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            for i, r in enumerate(results):
+                suffix = f"_{i}" if len(results) > 1 else ""
+                (out / f"{name}{suffix}.csv").write_text(r.to_csv())
+        print(f"  [{time.time() - start:.1f}s]\n")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(collected, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

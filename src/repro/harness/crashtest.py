@@ -1,0 +1,89 @@
+"""Crash-consistency validation as a harness command.
+
+``asap-repro crashtest`` sweeps crash points over a workload run and
+checks three things at every point:
+
+1. the recovered PM image equals the commit oracle's durable image
+   (atomicity + durability + ordering),
+2. the workload's own structure validators accept the recovered image,
+3. recovery is deterministic (running it twice yields the same image).
+
+This is the library's answer to "how do I know the scheme is actually
+crash consistent on *my* machine configuration?" - the same machinery the
+test suite uses, exposed operationally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.params import SystemConfig
+from repro.persist import make_scheme
+from repro.recovery import crash_machine, recover, verify_recovery
+from repro.sim.machine import Machine
+from repro.workloads import WorkloadParams, get_workload
+
+
+@dataclass
+class CrashTestReport:
+    workload: str
+    scheme: str
+    points_checked: int = 0
+    points_with_rollback: int = 0
+    regions_rolled_back: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "CONSISTENT" if self.ok else f"{len(self.failures)} FAILURES"
+        return (
+            f"{self.workload}/{self.scheme}: {status} over "
+            f"{self.points_checked} crash points "
+            f"({self.points_with_rollback} caught in-flight regions, "
+            f"{self.regions_rolled_back} regions rolled back in total)"
+        )
+
+
+def run_crashtest(
+    workload: str = "HM",
+    scheme: str = "asap",
+    points: int = 12,
+    params: Optional[WorkloadParams] = None,
+    config: Optional[SystemConfig] = None,
+) -> CrashTestReport:
+    """Sweep ``points`` evenly-spaced crash points over one workload run."""
+    params = params or WorkloadParams(num_threads=3, ops_per_thread=12, setup_items=16)
+    config = config or SystemConfig.small()
+
+    def build():
+        machine = Machine(config, make_scheme(scheme))
+        wl = get_workload(workload, params)
+        wl.install(machine)
+        return machine, wl
+
+    report = CrashTestReport(workload=workload, scheme=scheme)
+    total = build()[0].run().cycles
+    for i in range(points):
+        cycle = max(1, ((i + 1) * total) // (points + 1))
+        machine, wl = build()
+        state = crash_machine(machine, at_cycle=cycle)
+        image, rec_report = recover(state)
+        image2, _ = recover(state)  # determinism probe
+        report.points_checked += 1
+        if state.log_kind == "undo" and rec_report.undone_count:
+            report.points_with_rollback += 1
+            report.regions_rolled_back += rec_report.undone_count
+        verdict = verify_recovery(machine, image)
+        if not verdict.ok:
+            report.failures.append(f"@{cycle}: {verdict.explain()}")
+            continue
+        errors = wl.validate_image(image)
+        if errors:
+            report.failures.append(f"@{cycle}: structure invalid: {errors[:3]}")
+        if sorted(image.items()) != sorted(image2.items()):
+            report.failures.append(f"@{cycle}: recovery nondeterministic")
+    return report

@@ -1,0 +1,96 @@
+"""Experiment result containers and table rendering."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's aggregate for every figure)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure.
+
+    ``rows`` maps a row label (workload name or "GeoMean") to a mapping of
+    column label -> value. ``paper`` holds the paper's reference values for
+    the same cells, where the paper states them.
+    """
+
+    exp_id: str
+    title: str
+    columns: List[str]
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    paper: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    notes: str = ""
+
+    def add_row(self, label: str, **cells: float) -> None:
+        self.rows[label] = dict(cells)
+
+    def geomean_row(self, labels: Optional[List[str]] = None) -> Dict[str, float]:
+        """Append and return a GeoMean row over the given row labels."""
+        labels = labels or [r for r in self.rows if r != "GeoMean"]
+        gm = {
+            col: geomean([self.rows[r].get(col, 0.0) for r in labels])
+            for col in self.columns
+        }
+        self.rows["GeoMean"] = gm
+        return gm
+
+    def cell(self, row: str, col: str) -> float:
+        return self.rows[row][col]
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (for ``asap-repro --json``)."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": {label: dict(cells) for label, cells in self.rows.items()},
+            "paper": {label: dict(cells) for label, cells in self.paper.items()},
+            "notes": self.notes,
+        }
+
+    def to_csv(self) -> str:
+        """The rows as CSV (header: row label + columns)."""
+        lines = ["label," + ",".join(self.columns)]
+        for label, cells in self.rows.items():
+            values = ",".join(
+                f"{cells[c]:.6g}" if c in cells else "" for c in self.columns
+            )
+            lines.append(f"{label},{values}")
+        return "\n".join(lines) + "\n"
+
+    def to_table(self, precision: int = 2) -> str:
+        width = max([len(r) for r in self.rows] + [8])
+        col_width = max([len(c) for c in self.columns] + [8]) + 2
+        header = f"{self.exp_id}: {self.title}\n"
+        header += " " * width + "".join(f"{c:>{col_width}}" for c in self.columns) + "\n"
+        lines = []
+        for label, cells in self.rows.items():
+            line = f"{label:<{width}}"
+            for col in self.columns:
+                v = cells.get(col)
+                line += (
+                    f"{v:>{col_width}.{precision}f}" if v is not None else " " * col_width
+                )
+            lines.append(line)
+        body = "\n".join(lines)
+        out = header + body
+        if self.paper:
+            out += "\n  paper reference:"
+            for label, cells in self.paper.items():
+                cellstr = ", ".join(f"{c}={v}" for c, v in cells.items())
+                out += f"\n    {label}: {cellstr}"
+        if self.notes:
+            out += f"\n  note: {self.notes}"
+        return out

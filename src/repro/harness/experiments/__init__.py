@@ -1,0 +1,37 @@
+"""One module per reproduced table/figure; see DESIGN.md's experiment index."""
+
+from repro.harness.experiments import (
+    ablations,
+    area,
+    corun,
+    eadr_cmp,
+    extension,
+    fig1,
+    fig7,
+    fig8,
+    fig9a,
+    fig9b,
+    fig10,
+    lhwpq,
+    numa,
+)
+
+#: experiment name -> run(quick=...) callable returning an
+#: ExperimentResult or a list of them
+REGISTRY = {
+    "fig1": fig1.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9a": fig9a.run,
+    "fig9b": fig9b.run,
+    "fig10": fig10.run,
+    "lhwpq": lhwpq.run,
+    "area": area.run,
+    "ablations": ablations.run,
+    "extension": extension.run,
+    "numa": numa.run,
+    "corun": corun.run,
+    "eadr": eadr_cmp.run,
+}
+
+__all__ = ["REGISTRY"]

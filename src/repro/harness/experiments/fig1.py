@@ -1,0 +1,43 @@
+"""Figure 1: overhead of LPOs and DPOs in a software approach.
+
+Throughput of the software scheme normalized to no-persistency (NP), per
+workload plus geomean. The paper (measured on a 4-socket Xeon server)
+reports geomeans of 0.58x for "DPO Only" and 0.31x for "LPO & DPO".
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiment import ExperimentResult
+from repro.harness.runner import default_config, default_params, run_once
+from repro.workloads import workload_names
+
+PAPER_GEOMEAN = {"DPO Only": 0.58, "LPO & DPO": 0.31}
+
+
+def run(quick: bool = True, workloads=None) -> ExperimentResult:
+    workloads = workloads or workload_names()
+    result = ExperimentResult(
+        exp_id="Fig. 1",
+        title="Overhead of LPOs and DPOs in a software approach "
+        "(throughput normalized to NP, higher is better)",
+        columns=["NP", "DPO Only", "LPO & DPO"],
+        paper={"GeoMean": PAPER_GEOMEAN},
+        notes="paper numbers measured on a real Xeon server; ours on the "
+        "simulator - shapes, not absolutes, are comparable",
+    )
+    for name in workloads:
+        config = default_config(quick)
+        params = default_params(quick)
+        np_res = run_once(name, "np", config, params)
+        dpo = run_once(name, "sw_dpo_only", config, params)
+        full = run_once(name, "sw", config, params)
+        result.add_row(
+            name,
+            **{
+                "NP": 1.0,
+                "DPO Only": dpo.throughput / np_res.throughput,
+                "LPO & DPO": full.throughput / np_res.throughput,
+            },
+        )
+    result.geomean_row()
+    return result

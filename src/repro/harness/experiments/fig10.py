@@ -1,0 +1,46 @@
+"""Figure 10: sensitivity of throughput to persistent-memory latency.
+
+Throughput normalized to NP at the same latency multiplier, for PM access
+latencies of 1x, 2x, 4x, and 16x battery-backed DRAM.
+
+The paper's shape: NP is flat at 1.0 by construction; ASAP stays close to
+NP across the sweep; HWUndo degrades fastest (synchronous LPOs *and* DPOs
+on the critical path); HWRedo degrades more slowly than HWUndo and
+overtakes it at high latency.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiment import ExperimentResult
+from repro.harness.runner import default_config, default_params, run_once
+from repro.workloads import workload_names
+
+MULTIPLIERS = [1, 2, 4, 16]
+SCHEMES = [("ASAP", "asap"), ("HWUndo", "hwundo"), ("HWRedo", "hwredo")]
+
+
+def run(quick: bool = True, workloads=None, multipliers=None) -> ExperimentResult:
+    workloads = workloads or workload_names()
+    multipliers = multipliers or MULTIPLIERS
+    columns = [
+        f"{label}@{m}x" for m in multipliers for label, _ in SCHEMES
+    ]
+    result = ExperimentResult(
+        exp_id="Fig. 10",
+        title="Throughput normalized to NP vs PM latency (higher is better)",
+        columns=columns,
+        notes="paper shape: ASAP tracks NP; HWUndo degrades fastest; "
+        "HWRedo crosses over HWUndo at high latency",
+    )
+    for name in workloads:
+        cells = {}
+        for m in multipliers:
+            config = default_config(quick, pm_latency_multiplier=m)
+            params = default_params(quick)
+            np_res = run_once(name, "np", config, params)
+            for label, scheme in SCHEMES:
+                res = run_once(name, scheme, config, params)
+                cells[f"{label}@{m}x"] = res.throughput / np_res.throughput
+        result.add_row(name, **cells)
+    result.geomean_row()
+    return result

@@ -1,0 +1,42 @@
+"""Figure 7: performance comparison (speedup over SW, higher is better).
+
+Every workload at 64 B and 2 KB data per atomic region, for HWRedo,
+HWUndo, ASAP, and NP - all normalized to the SW baseline's throughput.
+
+Paper geomeans (over all workloads and both sizes): HWRedo 1.49x,
+HWUndo 1.60x, ASAP 2.25x, NP 2.34x (i.e. NP is only 1.04x over ASAP).
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiment import ExperimentResult
+from repro.harness.runner import default_config, default_params, run_once
+from repro.workloads import workload_names
+
+PAPER_GEOMEAN = {"HWRedo": 1.49, "HWUndo": 1.60, "ASAP": 2.25, "NP": 2.34}
+
+SCHEMES = [("HWRedo", "hwredo"), ("HWUndo", "hwundo"), ("ASAP", "asap"), ("NP", "np")]
+SIZES = [64, 2048]
+
+
+def run(quick: bool = True, workloads=None, sizes=None) -> ExperimentResult:
+    workloads = workloads or workload_names()
+    sizes = sizes or SIZES
+    result = ExperimentResult(
+        exp_id="Fig. 7",
+        title="Speedup over SW (higher is better)",
+        columns=["SW"] + [label for label, _ in SCHEMES],
+        paper={"GeoMean": PAPER_GEOMEAN},
+    )
+    for name in workloads:
+        for size in sizes:
+            config = default_config(quick)
+            params = default_params(quick, value_bytes=size)
+            sw = run_once(name, "sw", config, params)
+            cells = {"SW": 1.0}
+            for label, scheme in SCHEMES:
+                res = run_once(name, scheme, config, params)
+                cells[label] = res.speedup_over(sw)
+            result.add_row(f"{name}/{size}B", **cells)
+    result.geomean_row()
+    return result

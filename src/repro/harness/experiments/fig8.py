@@ -1,0 +1,42 @@
+"""Figure 8: cycles per atomic region, normalized to NP (lower is better).
+
+The latency an atomic region imposes on the instruction stream: from
+``asap_begin`` issuing to ``asap_end`` retiring. Synchronous-commit
+schemes pay their persist waits here; ASAP does not.
+
+Paper geomeans: HWRedo 1.69x, HWUndo 1.61x, ASAP 1.08x (NP = 1).
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiment import ExperimentResult
+from repro.harness.runner import default_config, default_params, run_once
+from repro.workloads import workload_names
+
+PAPER_GEOMEAN = {"HWRedo": 1.69, "HWUndo": 1.61, "ASAP": 1.08}
+
+SCHEMES = [("SW", "sw"), ("HWRedo", "hwredo"), ("HWUndo", "hwundo"), ("ASAP", "asap")]
+SIZES = [64, 2048]
+
+
+def run(quick: bool = True, workloads=None, sizes=None) -> ExperimentResult:
+    workloads = workloads or workload_names()
+    sizes = sizes or SIZES
+    result = ExperimentResult(
+        exp_id="Fig. 8",
+        title="Cycles per atomic region normalized to NP (lower is better)",
+        columns=[label for label, _ in SCHEMES] + ["NP"],
+        paper={"GeoMean": PAPER_GEOMEAN},
+    )
+    for name in workloads:
+        for size in sizes:
+            config = default_config(quick)
+            params = default_params(quick, value_bytes=size)
+            np_res = run_once(name, "np", config, params)
+            cells = {"NP": 1.0}
+            for label, scheme in SCHEMES:
+                res = run_once(name, scheme, config, params)
+                cells[label] = res.cycles_per_region / np_res.cycles_per_region
+            result.add_row(f"{name}/{size}B", **cells)
+    result.geomean_row()
+    return result

@@ -1,0 +1,48 @@
+"""Figure 9a: incremental benefit of ASAP's memory-traffic optimizations.
+
+PM write traffic of each ablation point, normalized to full ASAP (lower
+is better; full ASAP = 1.0 by construction):
+
+* ``ASAP-No-Opt`` - no optimizations,
+* ``ASAP+C`` - DPO coalescing (paper: ~8% traffic reduction over No-Opt),
+* ``ASAP+C+LP`` - + LPO dropping (further ~33%),
+* ``ASAP`` - + DPO dropping (further ~31%).
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiment import ExperimentResult
+from repro.harness.runner import default_config, default_params, run_once
+from repro.workloads import workload_names
+
+ABLATIONS = [
+    ("ASAP-No-Opt", "no_opt"),
+    ("ASAP+C", "+C"),
+    ("ASAP+C+LP", "+C+LP"),
+    ("ASAP", "full"),
+]
+
+#: successive reductions the paper reports (Sec. 7.2)
+PAPER_INCREMENTS = {"+C over No-Opt": 0.08, "+LP over +C": 0.33, "+DP over +C+LP": 0.31}
+
+
+def run(quick: bool = True, workloads=None) -> ExperimentResult:
+    workloads = workloads or workload_names()
+    result = ExperimentResult(
+        exp_id="Fig. 9a",
+        title="ASAP traffic-optimization ablation "
+        "(PM write traffic normalized to full ASAP, lower is better)",
+        columns=[label for label, _ in ABLATIONS],
+        paper={"successive reduction": PAPER_INCREMENTS},
+    )
+    for name in workloads:
+        params = default_params(quick)
+        cells = {}
+        for label, ablation in ABLATIONS:
+            config = default_config(quick)
+            config = config.with_asap(config.asap.ablation(ablation))
+            cells[label] = run_once(name, "asap", config, params).pm_writes
+        full = cells["ASAP"] or 1
+        result.add_row(name, **{k: v / full for k, v in cells.items()})
+    result.geomean_row()
+    return result

@@ -1,0 +1,62 @@
+"""Single-run plumbing shared by every experiment."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.params import SystemConfig
+from repro.persist import make_scheme
+from repro.sim.machine import Machine
+from repro.sim.stats import RunResult
+from repro.workloads import WorkloadParams, get_workload
+
+
+def default_config(
+    quick: bool = True,
+    pm_latency_multiplier: float = 1.0,
+    **asap_overrides,
+) -> SystemConfig:
+    """The benchmarking configuration.
+
+    ``quick`` selects the scaled-down machine (smaller caches/WPQs so the
+    paper's queueing effects appear within short runs); ``quick=False``
+    uses the full Table 2 machine.
+    """
+    if quick:
+        return SystemConfig.small(
+            num_cores=8,
+            wpq_entries=16,
+            pm_latency_multiplier=pm_latency_multiplier,
+            **asap_overrides,
+        )
+    cfg = SystemConfig()
+    cfg = cfg.with_pm_multiplier(pm_latency_multiplier)
+    if asap_overrides:
+        from dataclasses import replace
+
+        cfg = cfg.with_asap(replace(cfg.asap, **asap_overrides))
+    return cfg
+
+
+def default_params(quick: bool = True, value_bytes: int = 64) -> WorkloadParams:
+    if quick:
+        return WorkloadParams(
+            num_threads=4, ops_per_thread=40, value_bytes=value_bytes, setup_items=48
+        )
+    return WorkloadParams(
+        num_threads=8, ops_per_thread=120, value_bytes=value_bytes, setup_items=128
+    )
+
+
+def run_once(
+    workload: str,
+    scheme: str,
+    config: Optional[SystemConfig] = None,
+    params: Optional[WorkloadParams] = None,
+) -> RunResult:
+    """Build a machine, install one workload under one scheme, run it."""
+    config = config or default_config()
+    params = params or default_params()
+    machine = Machine(config, make_scheme(scheme))
+    get_workload(workload, params).install(machine)
+    return machine.run()

@@ -1,0 +1,32 @@
+"""Memory substrate: functional images, caches, WPQs, memory controllers.
+
+The substrate separates *function* from *timing*:
+
+* :class:`~repro.mem.image.MemoryImage` holds actual word values. The
+  machine keeps two: the volatile image (what the CPUs see) and the PM
+  image (what survives a crash). The PM image is only updated by WPQ
+  drains and by the persistence-domain flush performed on a crash.
+* The cache hierarchy and memory controllers provide latencies and
+  occupancy (queueing/backpressure) but never store data values; data
+  payloads are snapshotted into persist operations when those are created.
+"""
+
+from repro.mem.image import MemoryImage, snapshot_line
+from repro.mem.tagstore import LineMeta, TagStore
+from repro.mem.cache import CacheArray
+from repro.mem.wpq import PersistOp, WritePendingQueue
+from repro.mem.timing import TimingModel
+from repro.mem.controller import Channel, MemorySystem
+
+__all__ = [
+    "MemoryImage",
+    "snapshot_line",
+    "LineMeta",
+    "TagStore",
+    "CacheArray",
+    "PersistOp",
+    "WritePendingQueue",
+    "TimingModel",
+    "Channel",
+    "MemorySystem",
+]

@@ -1,0 +1,110 @@
+"""A set-associative cache array with LRU and locked-line-aware victims.
+
+The array tracks only which lines are present (tags + recency); values live
+in the functional images and per-line metadata lives in the
+:class:`~repro.mem.tagstore.TagStore`. Victim selection skips lines whose
+LockBit is set (an LPO is in flight; Sec. 4.6.1 forbids evicting them).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.params import CacheParams
+
+
+class CacheArray:
+    """Presence/recency state of one cache level (or one core's slice)."""
+
+    def __init__(
+        self,
+        name: str,
+        params: CacheParams,
+        is_locked: Optional[Callable[[int], bool]] = None,
+    ):
+        """
+        Args:
+            name: for diagnostics ("L1[3]", "LLC"...).
+            params: geometry and latency.
+            is_locked: predicate consulted during victim selection; locked
+                lines are never evicted.
+        """
+        self.name = name
+        self.params = params
+        self._is_locked = is_locked or (lambda line: False)
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(params.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def latency(self) -> int:
+        return self.params.latency
+
+    def _set_of(self, line: int) -> OrderedDict:
+        return self._sets[(line >> 6) % self.params.num_sets]
+
+    def lookup(self, line: int, touch: bool = True) -> bool:
+        """Return True on hit; updates LRU recency when ``touch``."""
+        s = self._set_of(line)
+        if line in s:
+            if touch:
+                s.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Presence check with no statistics or recency side effects."""
+        return line in self._set_of(line)
+
+    def insert(self, line: int) -> Optional[int]:
+        """Insert ``line``; returns the evicted victim line, if any.
+
+        Raises:
+            SimulationError: every candidate victim is locked. Callers must
+                treat this as a transient structural stall and retry (the
+                lock clears when the in-flight LPO is accepted by the WPQ).
+        """
+        s = self._set_of(line)
+        if line in s:
+            s.move_to_end(line)
+            return None
+        victim = None
+        if len(s) >= self.params.assoc:
+            victim = self._pick_victim(s)
+            if victim is None:
+                raise SimulationError(
+                    f"{self.name}: all ways locked in set of line {line:#x}"
+                )
+            del s[victim]
+            self.evictions += 1
+        s[line] = True
+        return victim
+
+    def _pick_victim(self, s: OrderedDict) -> Optional[int]:
+        for candidate in s:  # iteration order = LRU -> MRU
+            if not self._is_locked(candidate):
+                return candidate
+        return None
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if present; returns whether it was."""
+        s = self._set_of(line)
+        if line in s:
+            del s[line]
+            return True
+        return False
+
+    def lines(self):
+        """Iterate over all resident line addresses (test/debug helper)."""
+        for s in self._sets:
+            yield from s.keys()
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,157 @@
+"""Memory controllers and channels.
+
+The machine has ``num_controllers x channels_per_controller`` channels
+(Table 2: 2 MCs x 2 channels). Each channel owns a WPQ draining to the PM
+image and a DRAM write path. Cache lines interleave across channels by line
+address; Dependence List entries map to channels by the LSBs of the
+region's LocalRID (Sec. 5.6) - the helper for that mapping lives here so
+both the ASAP engine and the recovery code agree on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.address import AddressSpace
+from repro.common.params import SystemConfig
+from repro.engine import Scheduler
+from repro.mem.image import MemoryImage
+from repro.mem.timing import TimingModel
+from repro.mem.wpq import DPO, LOGHDR, LPO, WB, PersistOp, WritePendingQueue
+
+
+@dataclass
+class TrafficStats:
+    """Persistent-memory write-traffic accounting for one channel."""
+
+    pm_writes_by_kind: Dict[str, int] = field(
+        default_factory=lambda: {LPO: 0, DPO: 0, WB: 0, LOGHDR: 0}
+    )
+    pm_reads: int = 0
+    dram_writes: int = 0
+    crash_flush_writes: int = 0
+
+    @property
+    def pm_writes(self) -> int:
+        """Total 64B writes that actually reached persistent memory."""
+        return sum(self.pm_writes_by_kind.values())
+
+
+class Channel:
+    """One memory channel: a WPQ in front of PM plus a DRAM write path."""
+
+    def __init__(
+        self,
+        index: int,
+        scheduler: Scheduler,
+        timing: TimingModel,
+        pm_image: MemoryImage,
+        wpq_entries: int,
+    ):
+        self.index = index
+        self.stats = TrafficStats()
+        self.wpq = WritePendingQueue(
+            name=f"wpq[{index}]",
+            scheduler=scheduler,
+            capacity=wpq_entries,
+            write_service=lambda: timing.pm_write_service(index),
+            pm_image=pm_image,
+            on_drain=self._count_drain,
+            drain_watermark=timing.mem.wpq_drain_watermark,
+            lazy_drain_multiplier=timing.mem.wpq_lazy_drain_multiplier,
+        )
+
+    def _count_drain(self, op: PersistOp) -> None:
+        self.stats.pm_writes_by_kind[op.kind] += 1
+
+
+class MemorySystem:
+    """All channels plus the address- and RID-interleaving policy."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheduler: Scheduler,
+        pm_image: MemoryImage,
+    ):
+        self.config = config
+        self.scheduler = scheduler
+        self.timing = TimingModel(config)
+        self.address_space: AddressSpace = config.address_space
+        self.pm_image = pm_image
+        self.channels: List[Channel] = [
+            Channel(i, scheduler, self.timing, pm_image, config.memory.wpq_entries)
+            for i in range(config.memory.num_channels)
+        ]
+
+    # -- interleaving ------------------------------------------------------
+
+    def channel_for_line(self, line: int) -> Channel:
+        """Line-interleaved channel mapping."""
+        return self.channels[(line >> 6) % len(self.channels)]
+
+    def channel_for_rid(self, local_rid: int) -> Channel:
+        """Map a region to the channel hosting its Dependence List entry.
+
+        The paper uses the LSBs of the LocalRID (Sec. 5.6) so no cross-
+        thread synchronisation is needed when assigning region ids.
+        """
+        return self.channels[local_rid % len(self.channels)]
+
+    # -- persist path ------------------------------------------------------
+
+    def issue_persist(self, op: PersistOp, extra_delay: int = 0) -> None:
+        """Send a persist op from the L1 toward its channel's WPQ.
+
+        The op completes (``on_complete``) when the WPQ accepts it, one MC
+        hop after issue at the earliest, later under backpressure. Remote
+        (NUMA) channels have a longer hop (Sec. 7.3).
+        """
+        channel = self.channel_for_line(op.target_line)
+        delay = self.timing.mc_hop(channel.index) + extra_delay
+        self.scheduler.after(delay, lambda: channel.wpq.submit(op))
+
+    def issue_dram_write(self, line: int) -> None:
+        """Account a dirty volatile line written back to DRAM."""
+        self.channel_for_line(line).stats.dram_writes += 1
+
+    def count_pm_read(self, line: int) -> None:
+        self.channel_for_line(line).stats.pm_reads += 1
+
+    # -- queries used by optimizations and recovery -------------------------
+
+    def drop_from_wpqs(self, predicate: Callable[[PersistOp], bool]) -> int:
+        """Drop matching queued persist ops from every channel's WPQ."""
+        return sum(ch.wpq.drop_where(predicate) for ch in self.channels)
+
+    def queued_dpo_for(self, data_line: int) -> Optional[PersistOp]:
+        """Find a queued DPO/WB whose target is ``data_line`` (DPO dropping)."""
+        channel = self.channel_for_line(data_line)
+        for op in channel.wpq.queued_ops():
+            if op.kind in (DPO, WB) and op.target_line == data_line:
+                return op
+        return None
+
+    # -- crash -------------------------------------------------------------
+
+    def flush_persistence_domain(self) -> int:
+        """Flush every WPQ to the PM image (ADR on power failure)."""
+        flushed = 0
+        for ch in self.channels:
+            n = ch.wpq.flush_to_pm()
+            ch.stats.crash_flush_writes += n
+            flushed += n
+        return flushed
+
+    # -- aggregate statistics -----------------------------------------------
+
+    def total_pm_writes(self) -> int:
+        return sum(ch.stats.pm_writes for ch in self.channels)
+
+    def pm_writes_by_kind(self) -> Dict[str, int]:
+        total: Dict[str, int] = {LPO: 0, DPO: 0, WB: 0, LOGHDR: 0}
+        for ch in self.channels:
+            for kind, n in ch.stats.pm_writes_by_kind.items():
+                total[kind] += n
+        return total

@@ -1,0 +1,218 @@
+"""The cache hierarchy: per-core L1/L2, a shared inclusive LLC.
+
+Functional contents live in the images; the hierarchy provides hit/miss
+latencies, evictions, and the ASAP metadata lifecycle:
+
+* on first caching, a line's PBit is set from the page table,
+* LLC victim selection never picks locked lines (in-flight LPO),
+* an LLC eviction of a dirty persistent line produces a writeback persist
+  op, and the scheme's ``evict_hook`` runs so ASAP can spill the OwnerRID
+  to the DRAM buffer and update the Bloom filter (Sec. 5.3),
+* an LLC miss consults the scheme's ``reload_hook`` so a previously spilled
+  OwnerRID can be reattached to the line (Sec. 5.3).
+
+The hierarchy is inclusive: a line leaving the LLC is invalidated in every
+upper level, which is what lets one hierarchy-global tag store stand in for
+per-level replicated metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.address import line_base
+from repro.common.errors import SimulationError
+from repro.common.params import SystemConfig
+from repro.engine import Scheduler
+from repro.mem.cache import CacheArray
+from repro.mem.controller import MemorySystem
+from repro.mem.image import MemoryImage, snapshot_line
+from repro.mem.tagstore import LineMeta, TagStore
+from repro.mem.wpq import WB, PersistOp
+
+#: cycles between retries when every way of a set is LPO-locked
+_LOCKED_SET_RETRY = 16
+
+#: evict_hook(meta, wb_op): wb_op is the eviction writeback persist op when
+#: the line was dirty (the hook may attach completion callbacks to it before
+#: it reaches the WPQ) or None when the line was clean.
+EvictHook = Callable[[LineMeta, Optional["PersistOp"]], None]
+ReloadHook = Callable[[int], Tuple[Optional[int], int]]
+
+
+class CacheHierarchy:
+    """Timing and metadata lifecycle for all cache levels."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheduler: Scheduler,
+        memory: MemorySystem,
+        volatile_image: MemoryImage,
+        is_persistent: Callable[[int], bool],
+    ):
+        self.config = config
+        self.scheduler = scheduler
+        self.memory = memory
+        self.timing = memory.timing
+        self.volatile = volatile_image
+        self.is_persistent = is_persistent
+        self.tags = TagStore()
+
+        locked = self._line_locked
+        self.l1: List[CacheArray] = [
+            CacheArray(f"L1[{i}]", config.l1, locked)
+            for i in range(config.num_cores)
+        ]
+        self.l2: List[CacheArray] = [
+            CacheArray(f"L2[{i}]", config.l2, locked)
+            for i in range(config.num_cores)
+        ]
+        self.llc = CacheArray("LLC", config.l3, locked)
+
+        #: scheme hooks (Sec. 5.3); set by the ASAP engine when active.
+        self.evict_hook: Optional[EvictHook] = None
+        self.reload_hook: Optional[ReloadHook] = None
+
+        # statistics
+        self.accesses = 0
+        self.llc_misses = 0
+        self.locked_set_stalls = 0
+
+    # -- lock predicate ------------------------------------------------------
+
+    def _line_locked(self, line: int) -> bool:
+        meta = self.tags.get(line)
+        return bool(meta and meta.lock_bit)
+
+    # -- main access path ----------------------------------------------------
+
+    def access(
+        self,
+        core_id: int,
+        addr: int,
+        is_write: bool,
+        done: Callable[[LineMeta], None],
+    ) -> None:
+        """Perform a load/store; ``done(meta)`` fires after the hit latency.
+
+        Functional presence state is updated immediately (the simulator is
+        sequentially consistent at op granularity); only the completion
+        callback is delayed.
+        """
+        line = line_base(addr)
+        self.accesses += 1
+        try:
+            latency, meta = self._lookup_and_fill(core_id, line)
+        except SimulationError:
+            # Every way of some set is LPO-locked; retry shortly - the lock
+            # clears as soon as the in-flight LPO is accepted by the WPQ.
+            self.locked_set_stalls += 1
+            self.scheduler.after(
+                _LOCKED_SET_RETRY,
+                lambda: self.access(core_id, addr, is_write, done),
+            )
+            return
+        if is_write:
+            meta.dirty = True
+            meta.version += 1
+        self.scheduler.after(latency, lambda: done(meta))
+
+    def _lookup_and_fill(self, core_id: int, line: int):
+        pbit = self.is_persistent(line)
+        if self.l1[core_id].lookup(line):
+            return self.timing.l1_latency(), self.tags.ensure(line, pbit)
+        if self.l2[core_id].lookup(line):
+            self._fill(self.l1[core_id], line)
+            return self.timing.l2_latency(), self.tags.ensure(line, pbit)
+        if self.llc.lookup(line):
+            self._fill(self.l2[core_id], line)
+            self._fill(self.l1[core_id], line)
+            return self.timing.llc_latency(), self.tags.ensure(line, pbit)
+        # LLC miss: fetch from memory.
+        self.llc_misses += 1
+        latency = self.timing.memory_read_latency(pbit)
+        if pbit:
+            self.memory.count_pm_read(line)
+        meta = self.tags.ensure(line, pbit)
+        if pbit and self.reload_hook is not None:
+            owner, extra = self.reload_hook(line)
+            latency += extra
+            if owner is not None:
+                meta.owner_rid = owner
+        self._fill_llc(line)
+        self._fill(self.l2[core_id], line)
+        self._fill(self.l1[core_id], line)
+        return latency, meta
+
+    # -- fills and evictions ---------------------------------------------------
+
+    def _fill(self, array: CacheArray, line: int) -> None:
+        """Insert into a private level; victims just lose presence there."""
+        array.insert(line)
+
+    def _fill_llc(self, line: int) -> None:
+        victim = self.llc.insert(line)
+        if victim is not None:
+            self._evict_from_llc(victim)
+
+    def _evict_from_llc(self, victim: int) -> None:
+        """A line leaves the hierarchy: enforce inclusion, write back, spill."""
+        for array in self.l1:
+            array.invalidate(victim)
+        for array in self.l2:
+            array.invalidate(victim)
+        meta = self.tags.drop(victim)
+        if meta is None:
+            return
+        wb_op = None
+        if meta.dirty and meta.pbit:
+            wb_op = PersistOp(
+                kind=WB,
+                target_line=victim,
+                data_line=victim,
+                payload=snapshot_line(self.volatile, victim),
+                rid=meta.owner_rid,
+            )
+        if self.evict_hook is not None and meta.pbit:
+            # The hook may mark wb_op dropped: redo-style schemes must not
+            # let uncommitted data reach its in-place address (the log
+            # already holds it; Sec. 2.3's no-force discipline).
+            self.evict_hook(meta, wb_op)
+        if wb_op is not None and not wb_op.dropped:
+            self.memory.issue_persist(wb_op)
+        elif meta.dirty and not meta.pbit:
+            self.memory.issue_dram_write(victim)
+
+    # -- explicit operations used by schemes -----------------------------------
+
+    def writeback_line(self, line: int, rid: Optional[int] = None) -> Optional[PersistOp]:
+        """Clean a dirty persistent line by issuing a WB persist op.
+
+        Used by the software scheme's flush instructions and by redo
+        logging's post-commit data updates. Returns the op (its
+        ``on_complete`` can be set by the caller before it is accepted) or
+        None when the line was already clean or is volatile.
+        """
+        meta = self.tags.get(line)
+        if meta is None or not meta.dirty or not meta.pbit:
+            return None
+        meta.dirty = False
+        op = PersistOp(
+            kind=WB,
+            target_line=line,
+            data_line=line,
+            payload=snapshot_line(self.volatile, line),
+            rid=rid,
+        )
+        self.memory.issue_persist(op)
+        return op
+
+    def drop_line(self, line: int) -> None:
+        """Remove a line everywhere without writeback (test helper)."""
+        for array in self.l1:
+            array.invalidate(line)
+        for array in self.l2:
+            array.invalidate(line)
+        self.llc.invalidate(line)
+        self.tags.drop(line)

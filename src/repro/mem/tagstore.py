@@ -1,0 +1,80 @@
+"""Hierarchy-global cache-line metadata: the ASAP tag extensions.
+
+The paper extends every cache line's tag with three fields (Fig. 3 (2)):
+
+* **PBit** - the line maps to persistent memory,
+* **LockBit** - an LPO for this line is still in flight; the line must not
+  be evicted or written back until the LPO completes (Sec. 4.6.1),
+* **OwnerRID** - the atomic region that last wrote the line (Sec. 4.6.3).
+
+A real implementation replicates these bits per cache level and migrates
+them with coherence messages. We model them once, hierarchy-wide, in this
+tag store: metadata exists while the line is cached anywhere and is handed
+to the eviction hooks when the line leaves the LLC (Sec. 5.3 spill path).
+The ``dirty`` bit here means "dirty somewhere in the hierarchy".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class LineMeta:
+    """Metadata for one cached line (keyed by line base address).
+
+    ``lock_count`` generalises the paper's LockBit to a counter: when a new
+    region takes ownership of a line whose previous owner's LPO is still in
+    flight, both LPOs hold the line; it unlocks when the count drains to
+    zero. With a single bit the first completion would unlock the line
+    while the second LPO is still outstanding.
+    """
+
+    line: int
+    pbit: bool = False
+    lock_count: int = 0
+    owner_rid: Optional[int] = None
+    dirty: bool = False
+    #: bumped on every write; diagnostic only (CLPtr slots carry their own
+    #: per-slot data version for DPO staleness checks).
+    version: int = 0
+
+    @property
+    def lock_bit(self) -> bool:
+        """The architectural LockBit: an LPO for this line is in flight."""
+        return self.lock_count > 0
+
+
+class TagStore:
+    """All :class:`LineMeta` for currently cached lines."""
+
+    def __init__(self):
+        self._meta: Dict[int, LineMeta] = {}
+
+    def __len__(self) -> int:
+        return len(self._meta)
+
+    def get(self, line: int) -> Optional[LineMeta]:
+        """Return the metadata for ``line`` or None when not cached."""
+        return self._meta.get(line)
+
+    def ensure(self, line: int, pbit: bool) -> LineMeta:
+        """Return metadata for ``line``, creating it on first caching."""
+        meta = self._meta.get(line)
+        if meta is None:
+            meta = LineMeta(line=line, pbit=pbit)
+            self._meta[line] = meta
+        return meta
+
+    def drop(self, line: int) -> Optional[LineMeta]:
+        """Remove and return metadata when a line leaves the hierarchy."""
+        return self._meta.pop(line, None)
+
+    def locked_lines(self):
+        """Iterate over lines whose LockBit is currently set."""
+        return (m for m in self._meta.values() if m.lock_bit)
+
+    def owned_by(self, rid: int):
+        """Iterate over lines currently owned by region ``rid``."""
+        return (m for m in self._meta.values() if m.owner_rid == rid)

@@ -1,0 +1,63 @@
+"""Latency bookkeeping derived from :class:`~repro.common.params.MemoryParams`.
+
+Centralising the arithmetic keeps the Fig. 10 latency sweep a one-knob
+change (``pm_latency_multiplier``) and gives tests a single place to assert
+the derived numbers.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import MemoryParams, SystemConfig
+
+
+class TimingModel:
+    """Derived latencies for one machine instance."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.mem: MemoryParams = config.memory
+
+    # -- read path ---------------------------------------------------------
+
+    def l1_latency(self) -> int:
+        return self.config.l1.latency
+
+    def l2_latency(self) -> int:
+        return self.config.l1.latency + self.config.l2.latency
+
+    def llc_latency(self) -> int:
+        return self.l2_latency() + self.config.l3.latency
+
+    def memory_read_latency(self, is_pm: bool) -> int:
+        """LLC-miss service latency from DRAM or PM."""
+        device = (
+            self.mem.effective_pm_read_latency
+            if is_pm
+            else self.mem.dram_read_latency
+        )
+        return self.llc_latency() + device
+
+    # -- persist path ------------------------------------------------------
+
+    def channel_multiplier(self, channel_index: int) -> float:
+        """NUMA scaling for one channel's persist path (Sec. 7.3)."""
+        if channel_index in self.mem.numa_remote_channels:
+            return self.mem.numa_remote_multiplier
+        return 1.0
+
+    def mc_hop(self, channel_index: int = 0) -> int:
+        """One-way latency from the L1 to a memory controller."""
+        return round(self.mem.mc_hop_latency * self.channel_multiplier(channel_index))
+
+    def pm_write_service(self, channel_index: int = 0) -> int:
+        """Cycles the channel is busy draining one line from the WPQ to PM."""
+        return max(
+            1,
+            round(
+                self.mem.effective_pm_write_service
+                * self.channel_multiplier(channel_index)
+            ),
+        )
+
+    def dram_write_service(self) -> int:
+        return self.mem.dram_write_service

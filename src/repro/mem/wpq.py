@@ -1,0 +1,243 @@
+"""The Write Pending Queue (WPQ) of one memory channel.
+
+The WPQ is inside the persistence domain (ADR, Sec. 4.1): a persist
+operation *completes* the moment the queue accepts it, and on a power
+failure every queued entry is flushed to the persistent medium. The queue
+drains to PM at the device's write service rate; a full queue exerts
+backpressure on new persist operations, which is how slow PM technologies
+slow down schemes with synchronous persist operations (Fig. 10).
+
+Entry removal before drain ("dropping") implements two of ASAP's traffic
+optimizations (Sec. 5.1): LPO dropping (the region committed, its log is no
+longer needed) and DPO dropping (a later region's LPO carries the same
+bytes).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.common.errors import SimulationError
+from repro.engine import Scheduler, WaitQueue
+from repro.mem.image import MemoryImage
+
+_op_ids = itertools.count()
+
+#: persist-op kinds
+LPO = "lpo"
+DPO = "dpo"
+WB = "wb"  # plain eviction writeback of a dirty persistent line
+LOGHDR = "loghdr"  # a filled log-record header moving from the LH-WPQ
+
+
+@dataclass
+class PersistOp:
+    """One pending 64-byte write to persistent memory.
+
+    Attributes:
+        kind: LPO / DPO / WB / LOGHDR.
+        target_line: PM line address the write lands on (a log entry
+            address for LPOs, the data address for DPOs/WBs).
+        data_line: the subject data line (equals ``target_line`` for
+            DPOs/WBs; for LPOs it is the line whose old value is logged).
+            DPO dropping matches a new LPO's ``data_line`` against queued
+            DPO ``target_line``s.
+        payload: {word addr: value} snapshot to apply on drain/flush, or a
+            zero-argument callable producing that dict. A callable is
+            materialised at drain/flush time - used for log-record headers,
+            whose durable contents (the confirmed-entry set) evolve while
+            the write sits in the queue.
+        rid: owning region id (packed int), if any.
+        on_complete: invoked once, when the WPQ accepts the op - the ADR
+            durability point ASAP builds on (Sec. 4.1).
+        on_drain: invoked once, when the write reaches the persistent
+            medium (or is dropped as superseded). The pre-ADR durability
+            point the SW/HWUndo/HWRedo baselines wait on: their designs
+            treat the NVM write itself as the persist's completion.
+    """
+
+    kind: str
+    target_line: int
+    data_line: int
+    payload: object
+    rid: Optional[int] = None
+    on_complete: Optional[Callable[["PersistOp"], None]] = None
+    on_drain: Optional[Callable[["PersistOp"], None]] = None
+    op_id: int = field(default_factory=lambda: next(_op_ids))
+    accepted_at: Optional[int] = None
+    dropped: bool = False
+
+    def materialized_payload(self) -> Dict[int, int]:
+        """The concrete words this write carries, as of right now."""
+        if callable(self.payload):
+            return self.payload()
+        return self.payload
+
+
+class WritePendingQueue:
+    """Finite FIFO of :class:`PersistOp` with a self-paced drain loop."""
+
+    def __init__(
+        self,
+        name: str,
+        scheduler: Scheduler,
+        capacity: int,
+        write_service: Callable[[], int],
+        pm_image: MemoryImage,
+        on_drain: Optional[Callable[[PersistOp], None]] = None,
+        drain_watermark: int = 0,
+        lazy_drain_multiplier: int = 1,
+    ):
+        """
+        Args:
+            capacity: WPQ entries (128/channel in Table 2).
+            write_service: callable returning the current cycles-per-drain
+                (a callable so the Fig. 10 multiplier can change per run).
+            pm_image: drained payloads are applied here.
+            on_drain: traffic-accounting hook, called per drained entry.
+            drain_watermark: below this occupancy the controller defers
+                writes behind reads - entries drain lazily (every
+                ``write_service * lazy_drain_multiplier`` cycles) and thus
+                linger long enough for LPO/DPO dropping to find them.
+        """
+        if capacity <= 0:
+            raise SimulationError("WPQ capacity must be positive")
+        self.name = name
+        self._scheduler = scheduler
+        self.capacity = capacity
+        self._write_service = write_service
+        self._pm_image = pm_image
+        self._on_drain = on_drain
+        self._drain_watermark = max(0, min(drain_watermark, capacity - 1))
+        self._lazy_multiplier = max(1, lazy_drain_multiplier)
+        #: queued entries someone is waiting to drain (a pending flush
+        #: forces full-rate draining - fences push writes through)
+        self._flush_pending = 0
+        self._entries: "OrderedDict[int, PersistOp]" = OrderedDict()
+        self._backpressure = WaitQueue(scheduler)
+        self._draining = False
+        self._drain_event = None
+        # statistics
+        self.accepted = 0
+        self.drained = 0
+        self.dropped = 0
+        self.peak_occupancy = 0
+
+    # -- occupancy ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, op: PersistOp) -> None:
+        """Submit ``op``; accepts now or after backpressure clears.
+
+        ``op.on_complete`` fires at acceptance time (persist-op completion
+        per the ADR persistence-domain rule).
+        """
+        if not self.full:
+            self._accept(op)
+        else:
+            self._backpressure.park(lambda: self.submit(op))
+
+    def _accept(self, op: PersistOp) -> None:
+        op.accepted_at = self._scheduler.now
+        self._entries[op.op_id] = op
+        if op.on_drain is not None:
+            self._flush_pending += 1
+            # A flush arriving mid-lazy-interval expedites the drain loop.
+            if self._draining and self._drain_event is not None:
+                self._drain_event.cancel()
+                self._drain_event = self._scheduler.after(
+                    self._write_service(), self._drain_one
+                )
+        self.accepted += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        if op.on_complete is not None:
+            cb, op.on_complete = op.on_complete, None
+            cb(op)
+        self._ensure_draining()
+
+    # -- drain loop --------------------------------------------------------
+
+    def _drain_interval(self) -> int:
+        """Full-rate service above the watermark or under a pending flush;
+        lazy (read-prioritised) drain otherwise."""
+        service = self._write_service()
+        if self._flush_pending > 0 or len(self._entries) >= self._drain_watermark:
+            return service
+        return service * self._lazy_multiplier
+
+    def _ensure_draining(self) -> None:
+        if not self._draining and self._entries:
+            self._draining = True
+            self._drain_event = self._scheduler.after(
+                self._drain_interval(), self._drain_one
+            )
+
+    def _drain_one(self) -> None:
+        self._draining = False
+        self._drain_event = None
+        if not self._entries:
+            return
+        _, op = self._entries.popitem(last=False)
+        self._pm_image.apply(op.materialized_payload())
+        self.drained += 1
+        if self._on_drain is not None:
+            self._on_drain(op)
+        if op.on_drain is not None:
+            self._flush_pending -= 1
+            cb, op.on_drain = op.on_drain, None
+            cb(op)
+        self._backpressure.wake_one()
+        self._ensure_draining()
+
+    # -- dropping ----------------------------------------------------------
+
+    def drop_where(self, predicate: Callable[[PersistOp], bool]) -> int:
+        """Remove queued entries matching ``predicate`` (before drain).
+
+        Returns the number of entries dropped. Freed slots wake
+        backpressured submitters.
+        """
+        victims = [op_id for op_id, op in self._entries.items() if predicate(op)]
+        for op_id in victims:
+            op = self._entries.pop(op_id)
+            op.dropped = True
+            self.dropped += 1
+            if op.on_drain is not None:
+                # A dropped write is satisfied, not lost: its data is
+                # superseded or no longer needed; waiters must not hang.
+                self._flush_pending -= 1
+                cb, op.on_drain = op.on_drain, None
+                cb(op)
+            self._backpressure.wake_one()
+        return len(victims)
+
+    def queued_ops(self):
+        """Iterate queued ops in FIFO order (oldest first)."""
+        return iter(self._entries.values())
+
+    # -- crash -------------------------------------------------------------
+
+    def flush_to_pm(self) -> int:
+        """Persistence-domain flush: apply every queued entry in order.
+
+        Models ADR draining the WPQ on power failure. Returns the number of
+        entries flushed. The queue is left empty; no callbacks fire (the
+        machine is dead).
+        """
+        count = 0
+        while self._entries:
+            _, op = self._entries.popitem(last=False)
+            self._pm_image.apply(op.materialized_payload())
+            count += 1
+        return count

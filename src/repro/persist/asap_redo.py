@@ -1,0 +1,415 @@
+"""ASAP-Redo: asynchronous commit applied to redo logging (Fig. 2c).
+
+The paper builds ASAP on undo logging but states that "the principles
+underlying our design can also by applied to enable asynchronous commit
+for redo logging" and sketches the required rule in Fig. 2c: *the later
+region's in-place updates (DPOs) are delayed until the earlier region's
+log persists (LPOs complete)*. This module is that design, as an
+extension beyond the paper's evaluated system:
+
+* writes log their **new** values (redo LPOs), asynchronously; a line
+  rewritten after its LPO is re-logged with its final value at region end;
+* ``asap_end`` retires immediately - asynchronous commit;
+* control and data dependencies are tracked exactly as in undo-ASAP
+  (OwnerRID tags + per-channel Dependence Lists);
+* a region becomes durable ("commits") once all its LPOs are in the
+  persistence domain **and** every region it depends on has committed;
+  a durable **commit marker** ``[rid, commit_seq]`` is then persisted -
+  redo recovery replays only marked regions, in marker order;
+* in-place updates happen lazily after the marker persists (off the
+  critical path); the log is reclaimed once they are in the persistence
+  domain;
+* uncommitted data never reaches its home address: eviction writebacks of
+  lines owned by uncommitted regions are suppressed (the log already
+  holds the data), and recovery simply ignores unmarked regions.
+
+Simplifications vs a full hardware proposal (documented, not hidden): the
+commit-sequence counter is global (one extra broadcast at commit), and
+log-record headers piggyback on LPO payloads instead of a dedicated
+LH-WPQ (the undo engine models that structure already).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.common.address import line_base, words_of_line
+from repro.common.errors import SimulationError
+from repro.common.units import CACHE_LINE_BYTES
+from repro.core.dependence import DependenceList
+from repro.core.log import UndoLog
+from repro.core.rid import local_rid_of, pack_rid, previous_rid
+from repro.core.states import RegionState
+from repro.engine import Signal
+from repro.mem.wpq import DPO, LOGHDR, LPO, PersistOp
+from repro.persist.base import PersistenceScheme, SchemeThread
+
+#: marker slots per thread (circular; reuse is safe because markers of
+#: freed logs are no-ops at recovery)
+_MARKER_SLOTS = 64
+
+#: persist-op kind for commit markers (counted as log-header traffic)
+MARKER = LOGHDR
+
+
+class _RedoRegion:
+    """Commit-tracking state of one in-flight region."""
+
+    __slots__ = ("rid", "state", "outstanding_lpos", "lines", "rewritten", "values")
+
+    def __init__(self, rid: int):
+        self.rid = rid
+        self.state = RegionState.IN_PROGRESS
+        self.outstanding_lpos = 0
+        self.lines: Set[int] = set()
+        self.rewritten: Set[int] = set()
+        #: line -> the region's own logged words; the in-place update must
+        #: install *these*, never the current cache line, which may hold a
+        #: later uncommitted region's data (redo's no-force rule)
+        self.values: Dict[int, Dict[int, int]] = {}
+
+
+class _RedoThread(SchemeThread):
+    def __init__(self, thread_id: int, core_id: int, log: UndoLog, marker_base: int):
+        super().__init__(thread_id, core_id)
+        self.log = log
+        self.marker_base = marker_base
+        self.active: Optional[_RedoRegion] = None
+        self.last_rid: Optional[int] = None
+        self.commit_signals: Dict[int, Signal] = {}
+
+
+class AsapRedoLogging(PersistenceScheme):
+    """Asynchronous-commit redo logging (the Fig. 2c extension)."""
+
+    name = "asap_redo"
+
+    #: cycles committed data may linger cached before its in-place
+    #: writeback is attempted (shared lazy-window rationale with HWRedo)
+    REDO_DPO_DELAY = 1500
+
+    def __init__(self):
+        super().__init__()
+        self.dep_lists: List[DependenceList] = []
+        self.regions: Dict[int, _RedoRegion] = {}
+        self._commit_seq = 0
+        self._last_writer: Dict[int, int] = {}
+        self.dpos_filtered = 0
+        self.wbs_suppressed = 0
+        self.reads_redirected = 0
+        self._threads: Dict[int, _RedoThread] = {}
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def attach(self, machine) -> None:
+        super().attach(machine)
+        params = machine.config.asap
+        self.dep_lists = [
+            DependenceList(
+                ch,
+                machine.scheduler,
+                params.dependence_list_entries,
+                params.dep_slots,
+            )
+            for ch in range(machine.config.memory.num_channels)
+        ]
+        machine.hierarchy.evict_hook = self._on_evict
+        machine.hierarchy.reload_hook = None
+
+    def register_thread(self, thread_id: int, core_id: int) -> SchemeThread:
+        params = self.machine.config.asap
+        stride = (1 + params.log_data_entries_per_record) * 64
+        num_records = max(
+            1, params.initial_log_entries // params.log_data_entries_per_record
+        )
+        base = self.machine.heap.alloc(num_records * stride)
+        log = UndoLog(
+            thread_id,
+            base,
+            num_records,
+            params.log_data_entries_per_record,
+            grow_fn=self.machine.heap.alloc,
+        )
+        marker_base = self.machine.heap.alloc(_MARKER_SLOTS * CACHE_LINE_BYTES)
+        thread = _RedoThread(thread_id, core_id, log, marker_base)
+        self._threads[thread_id] = thread
+        return thread
+
+    def dep_list_for(self, rid: int) -> DependenceList:
+        return self.dep_lists[local_rid_of(rid) % len(self.dep_lists)]
+
+    # -- regions -----------------------------------------------------------------
+
+    def begin(self, thread: _RedoThread, done: Callable[[], None]) -> None:
+        thread.nest_depth += 1
+        if thread.nest_depth > 1:
+            done()
+            return
+        thread.regions_begun += 1
+        rid = pack_rid(thread.thread_id, thread.regions_begun)
+        dl = self.dep_list_for(rid)
+        if dl.full:
+            thread.nest_depth -= 1
+            thread.regions_begun -= 1
+            dl.entry_stalls += 1
+            dl.entry_waiters.park(lambda: self.begin(thread, done))
+            return
+        entry = dl.open_entry(rid)
+        prev = previous_rid(rid)
+        if prev is not None and self.dep_list_for(prev).contains(prev):
+            entry.deps.add(prev)
+        region = _RedoRegion(rid)
+        self.regions[rid] = region
+        thread.active = region
+        thread.last_rid = rid
+        thread.commit_signals[rid] = Signal(self.machine.scheduler)
+        done()
+
+    def end(self, thread: _RedoThread, done: Callable[[], None]) -> None:
+        if thread.nest_depth <= 0:
+            raise SimulationError("end without begin")
+        thread.nest_depth -= 1
+        if thread.nest_depth > 0:
+            done()
+            return
+        region = thread.active
+        if region is None:
+            raise SimulationError("no active region at asap_end")
+        thread.active = None
+        # Final-value re-logs for rewritten lines, still asynchronous.
+        for line in sorted(region.rewritten):
+            self._issue_lpo(thread, region, line)
+        region.rewritten.clear()
+        region.state = RegionState.DONE
+        self._try_commit(region, thread)
+        done()  # asynchronous commit: retire immediately
+
+    # -- commit machinery -----------------------------------------------------------
+
+    def _try_commit(self, region: _RedoRegion, thread: _RedoThread) -> None:
+        if region.state is not RegionState.DONE or region.outstanding_lpos > 0:
+            return
+        entry = self.dep_list_for(region.rid).entry(region.rid)
+        if entry is None:
+            return  # already committed
+        entry.state = RegionState.DONE
+        if entry.deps:
+            return  # Fig. 2c: wait for earlier regions' logs to persist
+        self._commit(region, thread)
+
+    def _commit(self, region: _RedoRegion, thread: _RedoThread) -> None:
+        rid = region.rid
+        self.dep_list_for(rid).remove_entry(rid)
+        self._commit_seq += 1
+        seq = self._commit_seq
+        marker_addr = thread.marker_base + (
+            (local_rid_of(rid) % _MARKER_SLOTS) * CACHE_LINE_BYTES
+        )
+
+        def marker_accepted(_op) -> None:
+            # Durable: recovery will replay this region from its log.
+            self._notify_commit(rid)
+            signal = thread.commit_signals.pop(rid, None)
+            if signal is not None:
+                signal.fire()
+            # Only now may dependents commit: broadcasting earlier would
+            # let a dependent's marker persist while this one is still in
+            # flight - the Fig. 2a ordering violation all over again.
+            for dl in self.dep_lists:
+                for ready in dl.clear_dependency(rid):
+                    ready_region = self.regions.get(ready.rid)
+                    if ready_region is not None:
+                        owner = self._threads[ready.rid >> 32]
+                        self.machine.scheduler.after(
+                            0, lambda r=ready_region, t=owner: self._try_commit(r, t)
+                        )
+            # Lazy in-place updates, then log reclamation.
+            self.machine.scheduler.after(
+                self.REDO_DPO_DELAY,
+                lambda: self._issue_post_commit_dpos(region, thread),
+            )
+
+        self.machine.memory.issue_persist(
+            PersistOp(
+                kind=MARKER,
+                target_line=marker_addr,
+                data_line=marker_addr,
+                payload={marker_addr: rid, marker_addr + 8: seq},
+                rid=rid,
+                on_complete=marker_accepted,
+            )
+        )
+
+    def _issue_post_commit_dpos(self, region: _RedoRegion, thread: _RedoThread) -> None:
+        pending = {"n": 1}
+
+        def one_done(_op=None) -> None:
+            pending["n"] -= 1
+            if pending["n"] == 0:
+                # Every surviving byte of this region is now in the
+                # persistence domain in place (or covered by a *committed*
+                # successor's log); the log may be reclaimed and its slots
+                # reused.
+                thread.log.free(region.rid)
+                self.regions.pop(region.rid, None)
+
+        for line in sorted(region.lines):
+            writer = self._last_writer.get(line)
+            if writer != region.rid and not self.dep_list_for(writer).contains(writer):
+                # A *committed* later region re-logged this line: its log
+                # (and replay order via commit_seq) covers it.
+                self.dpos_filtered += 1
+                continue
+            payload = region.values[line]
+            meta = self.machine.hierarchy.tags.get(line)
+            if meta is not None and self._last_writer.get(line) == region.rid:
+                meta.dirty = False
+            pending["n"] += 1
+            self.machine.memory.issue_persist(
+                PersistOp(
+                    kind=DPO,
+                    target_line=line,
+                    data_line=line,
+                    payload=payload,
+                    rid=region.rid,
+                    on_complete=one_done,
+                )
+            )
+        one_done()
+
+    # -- accesses --------------------------------------------------------------------
+
+    def write(self, thread: _RedoThread, addr: int, values, done: Callable[[], None]) -> None:
+        line = line_base(addr)
+        pm = self.machine.page_table.is_persistent(addr)
+        region = thread.active
+        self.machine.volatile.write_range(addr, values)
+
+        def after_access(meta) -> None:
+            if not pm or region is None:
+                done()
+                return
+            self._capture_dependence(region, meta)
+            meta.owner_rid = region.rid
+            if line not in region.lines:
+                region.lines.add(line)
+                self._issue_lpo(thread, region, line)
+            else:
+                region.rewritten.add(line)
+            done()
+
+        self.machine.hierarchy.access(thread.core_id, addr, True, after_access)
+
+    def read(self, thread: _RedoThread, addr: int, nwords: int, done: Callable[[list], None]) -> None:
+        line = line_base(addr)
+        region = thread.active
+        redirect = region is not None and line in region.lines
+
+        def after_access(meta) -> None:
+            if region is not None and self.machine.page_table.is_persistent(addr):
+                self._capture_dependence(region, meta)
+            values = [
+                self.machine.volatile.read_word(addr + 8 * i) for i in range(nwords)
+            ]
+            if redirect:
+                # reads of modified data are redirected to the log (Sec. 2.3)
+                self.reads_redirected += 1
+                self.machine.scheduler.after(12, lambda: done(values))
+            else:
+                done(values)
+
+        self.machine.hierarchy.access(thread.core_id, addr, False, after_access)
+
+    def _capture_dependence(self, region: _RedoRegion, meta) -> None:
+        owner = meta.owner_rid
+        if owner is None or owner == region.rid:
+            return
+        owner_dl = self.dep_list_for(owner)
+        if not owner_dl.contains(owner):
+            meta.owner_rid = None
+            return
+        entry = self.dep_list_for(region.rid).entry(region.rid)
+        if entry is not None and owner not in entry.deps and not entry.deps_full:
+            entry.deps.add(owner)
+
+    def _issue_lpo(self, thread: _RedoThread, region: _RedoRegion, line: int) -> None:
+        slot, entry_addr, record, _opened, sealed = thread.log.append(region.rid, line)
+        if sealed is not None:
+            self.machine.memory.issue_persist(
+                PersistOp(
+                    kind=LOGHDR,
+                    target_line=sealed.header_addr,
+                    data_line=sealed.header_addr,
+                    payload=sealed.header_payload,
+                    rid=region.rid,
+                )
+            )
+        logged = {w: self.machine.volatile.read_word(w) for w in words_of_line(line)}
+        region.values[line] = logged
+        payload = {entry_addr + (w - line): v for w, v in logged.items()}
+        payload[record.header_addr] = region.rid
+        payload[record.header_word_addr(slot)] = line
+        region.outstanding_lpos += 1
+        self._last_writer[line] = region.rid
+
+        def accepted(_op) -> None:
+            record.confirm(slot)
+            region.outstanding_lpos -= 1
+            self._try_commit(region, self._threads[region.rid >> 32])
+
+        self.machine.memory.issue_persist(
+            PersistOp(
+                kind=LPO,
+                target_line=entry_addr,
+                data_line=line,
+                payload=payload,
+                rid=region.rid,
+                on_complete=accepted,
+            )
+        )
+
+    # -- eviction (redo's no-force rule) ------------------------------------------------
+
+    def _on_evict(self, meta, wb_op: Optional[PersistOp]) -> None:
+        owner = meta.owner_rid
+        if owner is None or wb_op is None:
+            return
+        if self.dep_list_for(owner).contains(owner):
+            # Uncommitted data must not reach its home address; its bytes
+            # are already safe in the redo log.
+            wb_op.dropped = True
+            self.wbs_suppressed += 1
+
+    # -- fence / quiescence / crash -----------------------------------------------------
+
+    def fence(self, thread: _RedoThread, done: Callable[[], None]) -> None:
+        rid = thread.last_rid
+        if rid is None or rid not in thread.commit_signals:
+            done()
+            return
+        thread.commit_signals[rid].wait(done)
+
+    def when_quiescent(self, done: Callable[[], None]) -> None:
+        if not self.regions:
+            done()
+            return
+        self.machine.scheduler.after(100, lambda: self.when_quiescent(done))
+
+    def crash_flush(self) -> None:
+        """Nothing beyond the WPQs: headers and markers ride persist ops."""
+
+    def dependence_snapshot(self) -> List[dict]:
+        snap: List[dict] = []
+        for dl in self.dep_lists:
+            snap.extend(dl.snapshot())
+        return snap
+
+    def thread_logs(self) -> Dict[int, UndoLog]:
+        return {tid: t.log for tid, t in self._threads.items()}
+
+    def marker_directory(self) -> Dict[int, List[tuple]]:
+        """thread id -> [(marker base, slots, stride)] for recovery."""
+        return {
+            tid: [(t.marker_base, _MARKER_SLOTS, CACHE_LINE_BYTES)]
+            for tid, t in self._threads.items()
+        }

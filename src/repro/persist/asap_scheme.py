@@ -1,0 +1,96 @@
+"""The ASAP scheme: a thin adapter over :class:`repro.core.engine.AsapEngine`.
+
+All of the paper's machinery lives in :mod:`repro.core`; this class maps
+the generic :class:`~repro.persist.base.PersistenceScheme` interface onto
+it and forwards commit notifications and crash flushes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.engine import AsapEngine, AsapThread
+from repro.persist.base import PersistenceScheme, SchemeThread
+
+
+class _AsapSchemeThread(SchemeThread):
+    def __init__(self, thread_id: int, core_id: int, engine_thread: AsapThread):
+        super().__init__(thread_id, core_id)
+        self.engine_thread = engine_thread
+
+
+class AsapScheme(PersistenceScheme):
+    """Asynchronous commit with hardware dependence enforcement."""
+
+    name = "asap"
+
+    def __init__(self):
+        super().__init__()
+        self.engine: Optional[AsapEngine] = None
+
+    def attach(self, machine) -> None:
+        super().attach(machine)
+        self.engine = AsapEngine(
+            config=machine.config,
+            scheduler=machine.scheduler,
+            memory=machine.memory,
+            hierarchy=machine.hierarchy,
+            volatile=machine.volatile,
+            pm_alloc=machine.heap.alloc,
+        )
+        self.engine.on_commit.append(self._notify_commit)
+
+    @property
+    def stats(self):
+        return self.engine.stats if self.engine else None
+
+    def register_thread(self, thread_id: int, core_id: int) -> SchemeThread:
+        engine_thread = self.engine.register_thread(thread_id, core_id)
+        return _AsapSchemeThread(thread_id, core_id, engine_thread)
+
+    def begin(self, thread: _AsapSchemeThread, done: Callable[[], None]) -> None:
+        thread.nest_depth += 1
+        if thread.nest_depth == 1:
+            thread.regions_begun += 1
+        self.engine.begin(thread.engine_thread, done)
+
+    def end(self, thread: _AsapSchemeThread, done: Callable[[], None]) -> None:
+        thread.nest_depth -= 1
+        self.engine.end(thread.engine_thread, done)
+
+    def write(self, thread: _AsapSchemeThread, addr: int, values, done: Callable[[], None]) -> None:
+        self.engine.write(thread.engine_thread, addr, values, done)
+
+    def read(self, thread: _AsapSchemeThread, addr: int, nwords: int, done: Callable[[list], None]) -> None:
+        self.engine.read(thread.engine_thread, addr, nwords, done)
+
+    def fence(self, thread: _AsapSchemeThread, done: Callable[[], None]) -> None:
+        self.engine.fence(thread.engine_thread, done)
+
+    def migrate(self, thread: _AsapSchemeThread, new_core: int, done: Callable[[], None]) -> None:
+        def switched() -> None:
+            thread.core_id = new_core
+            done()
+
+        self.engine.context_switch(thread.engine_thread, new_core, switched)
+
+    def when_quiescent(self, done: Callable[[], None]) -> None:
+        self.engine.when_quiescent(done)
+
+    # -- crash support (Sec. 5.5) ------------------------------------------
+
+    def crash_flush(self) -> None:
+        """Flush the LH-WPQs to the PM image (the ADR crash path)."""
+        for lh in self.engine.lh_wpqs:
+            lh.flush_to_pm(self.machine.pm_image)
+
+    def dependence_snapshot(self) -> List[dict]:
+        """The persisted Dependence List contents used by recovery."""
+        snap: List[dict] = []
+        for dl in self.engine.dep_lists:
+            snap.extend(dl.snapshot())
+        return snap
+
+    def thread_logs(self) -> Dict[int, object]:
+        """Thread-id -> UndoLog (recovery scans their record slots)."""
+        return {tid: t.log for tid, t in self.engine.threads.items()}

@@ -1,0 +1,109 @@
+"""The persistence-scheme interface.
+
+A scheme interprets the five persistence-relevant ops (begin, end, read,
+write, fence) in continuation-passing style: the ``done`` callback fires
+when the instruction may retire. Synchronous-commit schemes delay ``End``'s
+``done``; ASAP never does.
+
+Schemes also expose commit notifications (for the recovery oracle) and a
+``crash()`` hook that flushes their share of the persistence domain.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.machine import Machine
+
+
+class SchemeThread:
+    """Base per-thread scheme state; schemes subclass or use as-is."""
+
+    def __init__(self, thread_id: int, core_id: int):
+        self.thread_id = thread_id
+        self.core_id = core_id
+        #: region nesting depth (all schemes flatten nested regions)
+        self.nest_depth = 0
+        #: regions begun by this thread (used as a LocalRID for oracle ids)
+        self.regions_begun = 0
+
+
+class PersistenceScheme(abc.ABC):
+    """Interface implemented by NP, SW, HWUndo, HWRedo, and ASAP."""
+
+    #: evaluation name ("np", "sw", "hwundo", "hwredo", "asap")
+    name: str = "abstract"
+
+    def __init__(self):
+        self.machine: Optional["Machine"] = None
+        #: listeners called with a packed region id when a region becomes
+        #: durable (commits); the machine's oracle subscribes here.
+        self.on_commit: List[Callable[[int], None]] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self, machine: "Machine") -> None:
+        """Bind the scheme to a machine (images, hierarchy, controllers)."""
+        self.machine = machine
+
+    @abc.abstractmethod
+    def register_thread(self, thread_id: int, core_id: int) -> SchemeThread:
+        """``asap_init`` equivalent: create per-thread scheme state."""
+
+    # -- the five ops ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def begin(self, thread: SchemeThread, done: Callable[[], None]) -> None:
+        """Open an atomic region."""
+
+    @abc.abstractmethod
+    def end(self, thread: SchemeThread, done: Callable[[], None]) -> None:
+        """Close the current atomic region; ``done`` fires when execution
+        may proceed past the region (NOT necessarily when it commits)."""
+
+    @abc.abstractmethod
+    def write(self, thread: SchemeThread, addr: int, values, done: Callable[[], None]) -> None:
+        """Store words at ``addr`` (all within one cache line)."""
+
+    @abc.abstractmethod
+    def read(self, thread: SchemeThread, addr: int, nwords: int, done: Callable[[list], None]) -> None:
+        """Load ``nwords`` words at ``addr``; ``done`` receives the values."""
+
+    def fence(self, thread: SchemeThread, done: Callable[[], None]) -> None:
+        """Block until the thread's last region is durable.
+
+        Synchronous-commit schemes are already durable at ``end``; the
+        default is therefore a no-op.
+        """
+        done()
+
+    def migrate(self, thread: SchemeThread, new_core: int, done: Callable[[], None]) -> None:
+        """Context-switch the thread to ``new_core`` (Sec. 5.7).
+
+        The default just repoints the thread; ASAP additionally drains the
+        suspended thread's CL List entries first.
+        """
+        thread.core_id = new_core
+        done()
+
+    # -- quiescence and crash ----------------------------------------------------
+
+    def when_quiescent(self, done: Callable[[], None]) -> None:
+        """Run ``done`` once no region's persistence work is outstanding.
+
+        The default assumes synchronous commit (nothing outstanding after
+        the last ``end`` retires).
+        """
+        done()
+
+    def crash_flush(self) -> None:
+        """Flush scheme-private persistence-domain state to the PM image
+        (the machine flushes the WPQs itself)."""
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _notify_commit(self, rid: int) -> None:
+        for listener in self.on_commit:
+            listener(rid)

@@ -1,0 +1,122 @@
+"""Idealized eADR baseline (the Sec. 8 contrast).
+
+Intel eADR extends the persistence domain over the entire cache
+hierarchy: a store is durable the moment it hits the cache, so no LPOs or
+DPOs ever stall execution and no flush instructions exist. Atomic
+durability still requires write-ahead logging (the paper: "it still
+requires a WAL technique to provide failure-atomicity") - but the log
+writes, too, are just cache writes.
+
+The catch the paper leans on: eADR "requires a large battery, consuming
+high power" - the battery must be able to flush every dirty line in the
+hierarchy on power failure. :meth:`battery_backed_bytes` quantifies that
+requirement so the Ext. 4 experiment can put it next to ASAP's ~70 KB of
+persistence-domain structures.
+
+Model: regions commit instantaneously at ``asap_end`` (all their writes
+are already durable, and the in-cache undo log makes in-flight regions
+rollbackable). On a crash the battery flushes the caches: the volatile
+image *is* the durable image, minus the rollback of in-flight regions
+from their in-cache logs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.common.address import line_base, words_of_line
+from repro.common.errors import SimulationError
+from repro.core.rid import pack_rid
+from repro.persist.base import PersistenceScheme, SchemeThread
+
+
+class _EadrThread(SchemeThread):
+    def __init__(self, thread_id: int, core_id: int):
+        super().__init__(thread_id, core_id)
+        self.rid: Optional[int] = None
+        #: in-cache undo log of the active region: line -> old words
+        self.undo: Dict[int, Dict[int, int]] = {}
+
+
+class EadrLogging(PersistenceScheme):
+    """WAL over battery-backed caches: zero persist ops, big battery."""
+
+    name = "eadr"
+
+    def register_thread(self, thread_id: int, core_id: int) -> SchemeThread:
+        return _EadrThread(thread_id, core_id)
+
+    # -- the cost side of the trade (Sec. 8) --------------------------------
+
+    def battery_backed_bytes(self) -> int:
+        """SRAM the battery must be able to flush on power failure."""
+        cfg = self.machine.config
+        return (
+            cfg.num_cores * (cfg.l1.size_bytes + cfg.l2.size_bytes)
+            + cfg.l3.size_bytes
+        )
+
+    # -- regions -------------------------------------------------------------
+
+    def begin(self, thread: _EadrThread, done: Callable[[], None]) -> None:
+        thread.nest_depth += 1
+        if thread.nest_depth == 1:
+            thread.regions_begun += 1
+            thread.rid = pack_rid(thread.thread_id, thread.regions_begun)
+            thread.undo.clear()
+        done()
+
+    def end(self, thread: _EadrThread, done: Callable[[], None]) -> None:
+        if thread.nest_depth <= 0:
+            raise SimulationError("end without begin")
+        thread.nest_depth -= 1
+        if thread.nest_depth == 0:
+            # Everything the region wrote is already inside the (cache)
+            # persistence domain: the region is durable the instant the
+            # in-cache log is dropped. Commit is free and immediate.
+            thread.undo.clear()
+            self._notify_commit(thread.rid)
+        done()
+
+    # -- accesses ----------------------------------------------------------------
+
+    def write(self, thread: _EadrThread, addr: int, values, done: Callable[[], None]) -> None:
+        line = line_base(addr)
+        in_region = thread.nest_depth > 0
+        if (
+            in_region
+            and self.machine.page_table.is_persistent(addr)
+            and line not in thread.undo
+        ):
+            thread.undo[line] = {
+                w: self.machine.volatile.read_word(w) for w in words_of_line(line)
+            }
+        self.machine.volatile.write_range(addr, values)
+        self.machine.hierarchy.access(thread.core_id, addr, True, lambda meta: done())
+
+    def read(self, thread: _EadrThread, addr: int, nwords: int, done: Callable[[list], None]) -> None:
+        def after(meta) -> None:
+            done([
+                self.machine.volatile.read_word(addr + 8 * i) for i in range(nwords)
+            ])
+
+        self.machine.hierarchy.access(thread.core_id, addr, False, after)
+
+    # -- crash ----------------------------------------------------------------------
+
+    def crash_flush(self) -> None:
+        """The battery flushes every dirty line: durable state = volatile
+        state, with in-flight regions rolled back from their in-cache
+        logs (which the battery flushes too)."""
+        pm = self.machine.pm_image
+        for word, value in self.machine.volatile.items():
+            if self.machine.page_table.is_persistent(word):
+                pm.write_word(word, value)
+        for thread in self._threads():
+            for line, old_words in thread.undo.items():
+                for w in words_of_line(line):
+                    pm.write_word(w, old_words.get(w, 0))
+
+    def _threads(self):
+        for executor in self.machine.executors:
+            yield executor.scheme_thread

@@ -1,0 +1,243 @@
+"""Hardware redo logging with synchronous LPOs (the HWRedo baseline).
+
+Modelled on Jeong et al. [33] as described in Secs. 2.3 and 6.3:
+
+* LPOs log the *new* values and are initiated in hardware at the first
+  write to a line, overlapped with the region's execution; a line written
+  again after its LPO is re-logged with its final value at region end;
+* commit is synchronous in the LPOs only: at ``asap_end`` the thread
+  stalls until every log write has drained to NVM (the durability point
+  the design predates ADR-WPQ persistence domains for);
+* DPOs (installing the logged values in place) happen after commit,
+  asynchronously, off the critical path;
+* unnecessary DPOs are filtered: if a later region has re-written (and
+  therefore re-logged) a line before the DPO is issued, the earlier DPO is
+  skipped - the later region's log already carries newer data (this is the
+  "uses DRAM on commit to filter out unnecessary DPOs" advantage the paper
+  credits HWRedo with in Sec. 7.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.common.address import line_base, words_of_line
+from repro.common.errors import SimulationError
+from repro.core.log import UndoLog
+from repro.core.rid import pack_rid
+from repro.mem.wpq import DPO, LOGHDR, LPO, PersistOp
+from repro.persist.base import PersistenceScheme, SchemeThread
+
+
+class _HwRedoThread(SchemeThread):
+    def __init__(self, thread_id: int, core_id: int, log: UndoLog):
+        super().__init__(thread_id, core_id)
+        self.log = log
+        self.rid: Optional[int] = None
+        #: line -> True when the line was written again after its LPO
+        self.write_set: Dict[int, bool] = {}
+        self.outstanding_lpos = 0
+        self.resume: Optional[Callable[[], None]] = None
+        self.waiting = False
+
+
+class HardwareRedoLogging(PersistenceScheme):
+    """Synchronous-LPO hardware redo logging with post-commit DPOs."""
+
+    name = "hwredo"
+
+    def __init__(self):
+        super().__init__()
+        #: line -> rid of the latest region to log it (the DPO filter)
+        self._last_writer: Dict[int, int] = {}
+        self.dpos_filtered = 0
+        self._outstanding_async = 0
+        self._quiescent_waiters = []
+
+    def register_thread(self, thread_id: int, core_id: int) -> SchemeThread:
+        params = self.machine.config.asap
+        stride = (1 + params.log_data_entries_per_record) * 64
+        num_records = max(
+            1, params.initial_log_entries // params.log_data_entries_per_record
+        )
+        base = self.machine.heap.alloc(num_records * stride)
+        log = UndoLog(
+            thread_id,
+            base,
+            num_records,
+            params.log_data_entries_per_record,
+            grow_fn=self.machine.heap.alloc,
+        )
+        return _HwRedoThread(thread_id, core_id, log)
+
+    # -- regions ---------------------------------------------------------------
+
+    def begin(self, thread: _HwRedoThread, done: Callable[[], None]) -> None:
+        thread.nest_depth += 1
+        if thread.nest_depth == 1:
+            thread.regions_begun += 1
+            thread.rid = pack_rid(thread.thread_id, thread.regions_begun)
+            thread.write_set.clear()
+        done()
+
+    def end(self, thread: _HwRedoThread, done: Callable[[], None]) -> None:
+        if thread.nest_depth <= 0:
+            raise SimulationError("end without begin")
+        thread.nest_depth -= 1
+        if thread.nest_depth > 0:
+            done()
+            return
+        # Re-log every line whose final value postdates its LPO.
+        for line, rewritten in thread.write_set.items():
+            if rewritten:
+                self._issue_lpo(thread, line)
+                thread.write_set[line] = False
+        thread.resume = done
+        thread.waiting = True
+        self._check_commit(thread)
+
+    def _check_commit(self, thread: _HwRedoThread) -> None:
+        if not thread.waiting or thread.outstanding_lpos > 0:
+            return
+        thread.waiting = False
+        rid = thread.rid
+        lines = sorted(thread.write_set)
+        self._notify_commit(rid)
+        resume, thread.resume = thread.resume, None
+        # Post-commit DPOs are asynchronous: schedule them lazily, retire
+        # anyway. The lazy window is what gives redo logging its DPO
+        # filtering: a later region that re-logs a line before the window
+        # expires supersedes the pending DPO entirely.
+        self._outstanding_async += 1
+        self.machine.scheduler.after(
+            self.REDO_DPO_DELAY,
+            lambda: self._issue_post_commit_dpos(rid, lines, thread),
+        )
+        resume()
+
+    #: cycles a committed region's data may linger in DRAM/cache before its
+    #: in-place writeback is attempted (the commit-time DPO lazy window)
+    REDO_DPO_DELAY = 1500
+
+    def _issue_post_commit_dpos(self, rid: int, lines, thread: _HwRedoThread) -> None:
+        for line in lines:
+            if self._last_writer.get(line) != rid:
+                # A later region re-logged the line: its DPO supersedes ours.
+                self.dpos_filtered += 1
+                continue
+            payload = {
+                w: self.machine.volatile.read_word(w) for w in words_of_line(line)
+            }
+            meta = self.machine.hierarchy.tags.get(line)
+            if meta is not None:
+                meta.dirty = False
+
+            def dpo_accepted(_op) -> None:
+                self._async_done()
+
+            self._outstanding_async += 1
+            self.machine.memory.issue_persist(
+                PersistOp(
+                    kind=DPO,
+                    target_line=line,
+                    data_line=line,
+                    payload=payload,
+                    rid=rid,
+                    on_complete=dpo_accepted,
+                )
+            )
+        # The log is reclaimed once the data is safely in the persistence
+        # domain; modelled as reclamation at writeback-issue time.
+        thread.log.free(rid)
+        self._async_done()
+
+    def _async_done(self) -> None:
+        self._outstanding_async -= 1
+        if self._outstanding_async == 0:
+            waiters, self._quiescent_waiters = self._quiescent_waiters, []
+            for resume in waiters:
+                self.machine.scheduler.after(0, resume)
+
+    def when_quiescent(self, done: Callable[[], None]) -> None:
+        if self._outstanding_async == 0:
+            done()
+        else:
+            self._quiescent_waiters.append(done)
+
+    # -- accesses -----------------------------------------------------------------
+
+    def write(self, thread: _HwRedoThread, addr: int, values, done: Callable[[], None]) -> None:
+        line = line_base(addr)
+        pm = self.machine.page_table.is_persistent(addr)
+        in_region = thread.nest_depth > 0
+        self.machine.volatile.write_range(addr, values)
+
+        def after_access(meta) -> None:
+            if pm and in_region:
+                if line not in thread.write_set:
+                    thread.write_set[line] = False
+                    self._issue_lpo(thread, line)
+                else:
+                    thread.write_set[line] = True  # needs re-log at end
+            done()
+
+        self.machine.hierarchy.access(thread.core_id, addr, True, after_access)
+
+    def _issue_lpo(self, thread: _HwRedoThread, line: int) -> None:
+        """Log the line's *current* (new) value - redo logging."""
+        slot, entry_addr, record, _opened, sealed = thread.log.append(thread.rid, line)
+        record.confirm(slot)  # synchronous schemes persist entries in order
+        if sealed is not None:
+            self.machine.memory.issue_persist(
+                PersistOp(
+                    kind=LOGHDR,
+                    target_line=sealed.header_addr,
+                    data_line=sealed.header_addr,
+                    payload=sealed.header_payload(),
+                    rid=thread.rid,
+                )
+            )
+        payload = {
+            entry_addr + (w - line): self.machine.volatile.read_word(w)
+            for w in words_of_line(line)
+        }
+        thread.outstanding_lpos += 1
+        self._last_writer[line] = thread.rid
+
+        def lpo_drained(_op) -> None:
+            thread.outstanding_lpos -= 1
+            self._check_commit(thread)
+
+        # Redo logging's durability point is the NVM write of the log
+        # entry (the design predates ADR-WPQ persistence domains), so the
+        # commit wait is for the drain, not the accept.
+        self.machine.memory.issue_persist(
+            PersistOp(
+                kind=LPO,
+                target_line=entry_addr,
+                data_line=line,
+                payload=payload,
+                rid=thread.rid,
+                on_drain=lpo_drained,
+            )
+        )
+
+    #: extra cycles when a read inside a region targets a line the region
+    #: has already logged: redo logging redirects such reads to the log
+    #: (Sec. 2.3), adding an indirection on the load path.
+    READ_REDIRECT_PENALTY = 12
+
+    def read(self, thread: _HwRedoThread, addr: int, nwords: int, done: Callable[[list], None]) -> None:
+        line = line_base(addr)
+        redirect = thread.nest_depth > 0 and line in thread.write_set
+
+        def after(meta) -> None:
+            values = [self.machine.volatile.read_word(addr + 8 * i) for i in range(nwords)]
+            if redirect:
+                self.machine.scheduler.after(
+                    self.READ_REDIRECT_PENALTY, lambda: done(values)
+                )
+            else:
+                done(values)
+
+        self.machine.hierarchy.access(thread.core_id, addr, False, after)

@@ -1,0 +1,220 @@
+"""Hardware undo logging with synchronous commit (the HWUndo baseline).
+
+Modelled on Proteus [61] as described in Secs. 2.3 and 6.3:
+
+* LPOs are initiated automatically in hardware at the first write to a
+  line and proceed in the background, overlapped with the region's own
+  execution;
+* the durability point is the NVM write itself (Proteus predates treating
+  the ADR WPQ as the persistence domain): an LPO or DPO completes when it
+  *drains* to persistent memory - this is what puts PM latency on the
+  commit path and makes HWUndo the most latency-sensitive scheme in the
+  Fig. 10 sweep;
+* a line's DPO is initiated eagerly, as soon as its LPO has drained
+  (undo logging's eager in-place update); a line rewritten after its DPO
+  was issued gets a fresh DPO so the region's final values persist;
+* commit is synchronous: at ``asap_end`` the thread stalls until every
+  LPO and every DPO has drained (Sec. 2.3: "a region commits when all
+  LPOs and DPOs complete");
+* LPO dropping is applied where possible (Sec. 5.1 notes Proteus does
+  this too), though with drain-completion a committing region's LPOs have
+  already left the queue, so in practice its log traffic reaches PM.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.common.address import line_base, words_of_line
+from repro.common.errors import SimulationError
+from repro.core.log import UndoLog
+from repro.core.rid import pack_rid
+from repro.mem.wpq import DPO, LOGHDR, LPO, PersistOp
+from repro.persist.base import PersistenceScheme, SchemeThread
+
+#: per-line persistence state within the current region
+_WAIT_LPO = "wait_lpo"  # undo log write still draining
+_DPO_INFLIGHT = "dpo_inflight"  # in-place update draining
+_CLEAN = "clean"  # line's latest DPO drained
+
+
+class _LineState:
+    __slots__ = ("state", "dirty")
+
+    def __init__(self):
+        self.state = _WAIT_LPO
+        self.dirty = False  # written again since the last DPO was issued
+
+
+class _HwUndoThread(SchemeThread):
+    def __init__(self, thread_id: int, core_id: int, log: UndoLog):
+        super().__init__(thread_id, core_id)
+        self.log = log
+        self.rid: Optional[int] = None
+        self.lines: Dict[int, _LineState] = {}
+        self.outstanding = 0  # LPO + DPO drains still pending
+        self.resume: Optional[Callable[[], None]] = None
+
+
+class HardwareUndoLogging(PersistenceScheme):
+    """Synchronous-commit hardware undo logging (drain durability)."""
+
+    name = "hwundo"
+
+    def register_thread(self, thread_id: int, core_id: int) -> SchemeThread:
+        params = self.machine.config.asap
+        stride = (1 + params.log_data_entries_per_record) * 64
+        num_records = max(
+            1, params.initial_log_entries // params.log_data_entries_per_record
+        )
+        base = self.machine.heap.alloc(num_records * stride)
+        log = UndoLog(
+            thread_id,
+            base,
+            num_records,
+            params.log_data_entries_per_record,
+            grow_fn=self.machine.heap.alloc,
+        )
+        return _HwUndoThread(thread_id, core_id, log)
+
+    # -- regions ---------------------------------------------------------------
+
+    def begin(self, thread: _HwUndoThread, done: Callable[[], None]) -> None:
+        thread.nest_depth += 1
+        if thread.nest_depth == 1:
+            thread.regions_begun += 1
+            thread.rid = pack_rid(thread.thread_id, thread.regions_begun)
+            thread.lines.clear()
+        done()
+
+    def end(self, thread: _HwUndoThread, done: Callable[[], None]) -> None:
+        if thread.nest_depth <= 0:
+            raise SimulationError("end without begin")
+        thread.nest_depth -= 1
+        if thread.nest_depth > 0:
+            done()
+            return
+        # Flush rewritten lines whose DPO already drained.
+        for line, ls in thread.lines.items():
+            if ls.state == _CLEAN and ls.dirty:
+                self._issue_dpo(thread, line, ls)
+        thread.resume = done
+        self._maybe_commit(thread)
+
+    def _maybe_commit(self, thread: _HwUndoThread) -> None:
+        if thread.resume is None or thread.outstanding > 0:
+            return
+        if any(ls.state != _CLEAN or ls.dirty for ls in thread.lines.values()):
+            return
+        rid = thread.rid
+        thread.log.free(rid)
+        # LPO dropping (any log writes still queued are unneeded now).
+        self.machine.memory.drop_from_wpqs(
+            lambda q: q.rid == rid and q.kind in (LPO, LOGHDR)
+        )
+        self._notify_commit(rid)
+        resume, thread.resume = thread.resume, None
+        resume()
+
+    # -- accesses -----------------------------------------------------------------
+
+    def write(self, thread: _HwUndoThread, addr: int, values, done: Callable[[], None]) -> None:
+        line = line_base(addr)
+        pm = self.machine.page_table.is_persistent(addr)
+        in_region = thread.nest_depth > 0
+        first_write = pm and in_region and line not in thread.lines
+        old_snapshot = None
+        if first_write:
+            old_snapshot = {
+                w: self.machine.volatile.read_word(w) for w in words_of_line(line)
+            }
+        self.machine.volatile.write_range(addr, values)
+
+        def after_access(meta) -> None:
+            if pm and in_region:
+                if first_write:
+                    thread.lines[line] = _LineState()
+                    self._issue_lpo(thread, line, old_snapshot)
+                else:
+                    ls = thread.lines[line]
+                    ls.dirty = True
+            done()  # persist ops are hardware-initiated: no stall here
+
+        self.machine.hierarchy.access(thread.core_id, addr, True, after_access)
+
+    def _issue_lpo(self, thread: _HwUndoThread, line: int, old_snapshot: Dict[int, int]) -> None:
+        slot, entry_addr, record, _opened, sealed = thread.log.append(thread.rid, line)
+        record.confirm(slot)
+        if sealed is not None:
+            self.machine.memory.issue_persist(
+                PersistOp(
+                    kind=LOGHDR,
+                    target_line=sealed.header_addr,
+                    data_line=sealed.header_addr,
+                    payload=sealed.header_payload(),
+                    rid=thread.rid,
+                )
+            )
+        payload = {
+            entry_addr + (w - line): old_snapshot.get(w, 0)
+            for w in words_of_line(line)
+        }
+        payload[record.header_addr] = thread.rid
+        payload[record.header_word_addr(slot)] = line
+        thread.outstanding += 1
+
+        def lpo_drained(_op, rid=thread.rid) -> None:
+            thread.outstanding -= 1
+            if thread.rid == rid:
+                # The log entry is durable in NVM: the eager in-place
+                # update (undo logging's hallmark) may now proceed.
+                ls = thread.lines.get(line)
+                if ls is not None and ls.state == _WAIT_LPO:
+                    self._issue_dpo(thread, line, ls)
+            self._maybe_commit(thread)
+
+        self.machine.memory.issue_persist(
+            PersistOp(
+                kind=LPO,
+                target_line=entry_addr,
+                data_line=line,
+                payload=payload,
+                rid=thread.rid,
+                on_drain=lpo_drained,
+            )
+        )
+
+    def _issue_dpo(self, thread: _HwUndoThread, line: int, ls: _LineState) -> None:
+        ls.state = _DPO_INFLIGHT
+        ls.dirty = False
+        payload = {w: self.machine.volatile.read_word(w) for w in words_of_line(line)}
+        meta = self.machine.hierarchy.tags.get(line)
+        if meta is not None:
+            meta.dirty = False
+        thread.outstanding += 1
+
+        def dpo_drained(_op, rid=thread.rid) -> None:
+            thread.outstanding -= 1
+            if thread.rid == rid:
+                if ls.dirty:
+                    self._issue_dpo(thread, line, ls)  # rewritten: refresh
+                else:
+                    ls.state = _CLEAN
+            self._maybe_commit(thread)
+
+        self.machine.memory.issue_persist(
+            PersistOp(
+                kind=DPO,
+                target_line=line,
+                data_line=line,
+                payload=payload,
+                rid=thread.rid,
+                on_drain=dpo_drained,
+            )
+        )
+
+    def read(self, thread: _HwUndoThread, addr: int, nwords: int, done: Callable[[list], None]) -> None:
+        def after(meta) -> None:
+            done([self.machine.volatile.read_word(addr + 8 * i) for i in range(nwords)])
+
+        self.machine.hierarchy.access(thread.core_id, addr, False, after)

@@ -1,0 +1,218 @@
+"""Software persistency (SW): undo logging with flush/fence instructions.
+
+This is the Sec. 6.3 SW baseline (and the Fig. 1 motivational experiment):
+
+* distributed per-thread logs,
+* hand-coalesced persist operations (one log entry and one data flush per
+  modified cache line per region),
+* but every persist operation sits on the critical path: the thread stalls
+  for the log flush + fence at each first write to a line, and for the
+  data flushes + fence plus a commit record at region end.
+
+``dpo_only=True`` builds the Fig. 1 "DPO Only" variant: no logging at all,
+just the end-of-region data flushes and fence.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set
+
+from repro.common.address import line_base, words_of_line
+from repro.common.errors import SimulationError
+from repro.core.log import UndoLog
+from repro.core.rid import pack_rid
+from repro.mem.wpq import DPO, LOGHDR, LPO, PersistOp
+from repro.persist.base import PersistenceScheme, SchemeThread
+
+#: cycles of instruction work to construct one log entry in software
+_LOG_CONSTRUCT_COST = 12
+
+
+class _SwThread(SchemeThread):
+    def __init__(self, thread_id: int, core_id: int, log: Optional[UndoLog]):
+        super().__init__(thread_id, core_id)
+        self.log = log
+        #: lines written by the current region (flush targets)
+        self.write_set: Set[int] = set()
+        #: lines already logged by the current region (coalescing)
+        self.logged: Set[int] = set()
+        self.rid: Optional[int] = None
+
+
+class SoftwareLogging(PersistenceScheme):
+    """Software undo logging (or flush-only when ``dpo_only``)."""
+
+    def __init__(self, dpo_only: bool = False):
+        super().__init__()
+        self.dpo_only = dpo_only
+        self.name = "sw_dpo_only" if dpo_only else "sw"
+
+    def register_thread(self, thread_id: int, core_id: int) -> SchemeThread:
+        log = None
+        if not self.dpo_only:
+            params = self.machine.config.asap
+            stride = (1 + params.log_data_entries_per_record) * 64
+            num_records = max(
+                1, params.initial_log_entries // params.log_data_entries_per_record
+            )
+            base = self.machine.heap.alloc(num_records * stride)
+            log = UndoLog(
+                thread_id,
+                base,
+                num_records,
+                params.log_data_entries_per_record,
+                grow_fn=self.machine.heap.alloc,
+            )
+        return _SwThread(thread_id, core_id, log)
+
+    # -- regions ---------------------------------------------------------------
+
+    def begin(self, thread: _SwThread, done: Callable[[], None]) -> None:
+        thread.nest_depth += 1
+        if thread.nest_depth == 1:
+            thread.regions_begun += 1
+            thread.rid = pack_rid(thread.thread_id, thread.regions_begun)
+            thread.write_set.clear()
+            thread.logged.clear()
+        done()
+
+    def end(self, thread: _SwThread, done: Callable[[], None]) -> None:
+        if thread.nest_depth <= 0:
+            raise SimulationError("end without begin")
+        thread.nest_depth -= 1
+        if thread.nest_depth > 0:
+            done()
+            return
+        self._flush_data(thread, done)
+
+    def _flush_data(self, thread: _SwThread, done: Callable[[], None]) -> None:
+        """clwb each modified line, then mfence (wait for the NVM drains)."""
+        lines = sorted(thread.write_set)
+        rid = thread.rid
+        remaining = len(lines)
+
+        def after_fence() -> None:
+            if self.dpo_only:
+                self._commit(thread, done)
+            else:
+                self._write_commit_record(thread, done)
+
+        if remaining == 0:
+            after_fence()
+            return
+        state = {"left": remaining}
+
+        def one_accepted(_op) -> None:
+            state["left"] -= 1
+            if state["left"] == 0:
+                after_fence()
+
+        for line in lines:
+            payload = {w: self.machine.volatile.read_word(w) for w in words_of_line(line)}
+            meta = self.machine.hierarchy.tags.get(line)
+            if meta is not None:
+                meta.dirty = False
+            self.machine.memory.issue_persist(
+                PersistOp(
+                    kind=DPO,
+                    target_line=line,
+                    data_line=line,
+                    payload=payload,
+                    rid=rid,
+                    on_drain=one_accepted,
+                )
+            )
+
+    def _write_commit_record(self, thread: _SwThread, done: Callable[[], None]) -> None:
+        """Persist the commit record (the final record header), then free."""
+        record = thread.log.open_record(thread.rid)
+        payload = (
+            record.header_payload()
+            if record is not None
+            else {thread.log.segments[0][0]: thread.rid}
+        )
+        target = next(iter(payload))
+        self.machine.memory.issue_persist(
+            PersistOp(
+                kind=LOGHDR,
+                target_line=line_base(target),
+                data_line=line_base(target),
+                payload=payload,
+                rid=thread.rid,
+                on_drain=lambda op: self._commit(thread, done),
+            )
+        )
+
+    def _commit(self, thread: _SwThread, done: Callable[[], None]) -> None:
+        if thread.log is not None:
+            thread.log.free(thread.rid)
+        self._notify_commit(thread.rid)
+        done()
+
+    # -- accesses -----------------------------------------------------------------
+
+    def write(self, thread: _SwThread, addr: int, values, done: Callable[[], None]) -> None:
+        line = line_base(addr)
+        pm = self.machine.page_table.is_persistent(addr)
+        in_region = thread.nest_depth > 0
+        need_log = (
+            pm and in_region and not self.dpo_only and line not in thread.logged
+        )
+        old_snapshot = None
+        if need_log:
+            old_snapshot = {
+                w: self.machine.volatile.read_word(w) for w in words_of_line(line)
+            }
+        self.machine.volatile.write_range(addr, values)
+        if pm and in_region:
+            thread.write_set.add(line)
+
+        def after_access(meta) -> None:
+            if not need_log:
+                done()
+                return
+            thread.logged.add(line)
+            slot, entry_addr, record, _opened, sealed = thread.log.append(thread.rid, line)
+            record.confirm(slot)  # the log flush below is synchronous
+            if sealed is not None:
+                # A filled record's header is written out (persist, no wait:
+                # the entry flush below already orders after it per channel).
+                self.machine.memory.issue_persist(
+                    PersistOp(
+                        kind=LOGHDR,
+                        target_line=sealed.header_addr,
+                        data_line=sealed.header_addr,
+                        payload=sealed.header_payload(),
+                        rid=thread.rid,
+                    )
+                )
+            payload = {
+                entry_addr + (w - line): old_snapshot.get(w, 0)
+                for w in words_of_line(line)
+            }
+            # clwb + mfence: the store retires only once the log entry is
+            # inside the persistence domain - the software critical path.
+            def log_persisted(_op) -> None:
+                done()
+
+            self.machine.scheduler.after(
+                _LOG_CONSTRUCT_COST,
+                lambda: self.machine.memory.issue_persist(
+                    PersistOp(
+                        kind=LPO,
+                        target_line=entry_addr,
+                        data_line=line,
+                        payload=payload,
+                        rid=thread.rid,
+                        on_drain=log_persisted,
+                    )
+                ),
+            )
+
+        self.machine.hierarchy.access(thread.core_id, addr, True, after_access)
+
+    def read(self, thread: _SwThread, addr: int, nwords: int, done: Callable[[list], None]) -> None:
+        def after(meta) -> None:
+            done([self.machine.volatile.read_word(addr + 8 * i) for i in range(nwords)])
+
+        self.machine.hierarchy.access(thread.core_id, addr, False, after)

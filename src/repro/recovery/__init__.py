@@ -1,0 +1,27 @@
+"""Crash injection and post-crash recovery (Sec. 5.5).
+
+:func:`~repro.recovery.crash.crash_machine` stops a run at an arbitrary
+cycle and performs the persistence-domain flush (WPQs, LH-WPQs, active
+Dependence List entries). :func:`~repro.recovery.recover.recover` then
+replays the paper's recovery procedure on the surviving PM image: build
+the dependence DAG from the persisted Dependence List, derive the reverse
+happens-before order, locate every uncommitted region's log records, and
+restore the old values.
+
+:mod:`repro.recovery.verify` checks the result against the run's commit
+oracle: atomicity (no partial regions), durability (committed regions
+survive), and ordering (no dependent region survives its dependency's
+rollback).
+"""
+
+from repro.recovery.crash import CrashState, crash_machine
+from repro.recovery.recover import RecoveryReport, recover
+from repro.recovery.verify import verify_recovery
+
+__all__ = [
+    "CrashState",
+    "crash_machine",
+    "RecoveryReport",
+    "recover",
+    "verify_recovery",
+]

@@ -1,0 +1,16 @@
+"""The software-visible runtime: heaps, page table, and locks.
+
+This is the layer the paper's Table 1 interface lives in: ``asap_init`` is
+thread registration, ``asap_malloc``/``asap_free`` are
+:class:`~repro.runtime.heap.PersistentHeap` operations that mark pages
+persistent in the simulated page table, and ``asap_begin`` / ``asap_end`` /
+``asap_fence`` are ops interpreted by the active persistence scheme.
+
+Isolation is software's job (Sec. 2.1): :class:`~repro.runtime.locks.SimLock`
+provides the critical sections the workloads nest their atomic regions in.
+"""
+
+from repro.runtime.heap import PageTable, PersistentHeap, VolatileHeap
+from repro.runtime.locks import SimLock
+
+__all__ = ["PageTable", "PersistentHeap", "VolatileHeap", "SimLock"]

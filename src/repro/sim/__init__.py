@@ -1,0 +1,35 @@
+"""Machine assembly and trace-driven execution.
+
+A :class:`~repro.sim.machine.Machine` wires the scheduler, images, heaps,
+cache hierarchy, memory controllers, and one persistence scheme together.
+Workload threads are Python generators yielding :mod:`~repro.sim.ops`
+objects; a :class:`~repro.sim.executor.ThreadExecutor` per thread drives
+its generator through the scheme, which charges latencies and enforces the
+scheme's persistence semantics.
+"""
+
+from repro.sim.ops import (
+    Begin,
+    End,
+    Read,
+    Write,
+    Compute,
+    Lock,
+    Unlock,
+    Fence,
+)
+from repro.sim.machine import Machine
+from repro.sim.stats import RunResult
+
+__all__ = [
+    "Begin",
+    "End",
+    "Read",
+    "Write",
+    "Compute",
+    "Lock",
+    "Unlock",
+    "Fence",
+    "Machine",
+    "RunResult",
+]

@@ -1,0 +1,211 @@
+"""Trace-driven execution of one workload thread.
+
+The executor advances its workload generator one op at a time, dispatching
+each op to the persistence scheme (memory/region ops), the lock (isolation
+ops), or the scheduler (compute). A fixed ``base_op_cost`` is charged per
+op, playing the role of the instructions between memory references.
+
+Region latency accounting (Fig. 8's metric) spans from the cycle a
+top-level ``Begin`` is issued to the cycle its ``End`` *retires* - for
+synchronous-commit schemes that includes the end-of-region persist wait;
+for ASAP it does not, because ``End`` retires immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, TYPE_CHECKING
+
+from repro.common.address import line_base
+from repro.common.errors import SimulationError
+from repro.common.units import CACHE_LINE_BYTES, WORD_BYTES
+from repro.core.rid import pack_rid
+from repro.sim import ops as op_types
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import Machine
+
+
+class ThreadExecutor:
+    """Drives one generator of ops through the machine."""
+
+    def __init__(self, machine: "Machine", thread_id: int, core_id: int, gen_fn):
+        self.machine = machine
+        self.thread_id = thread_id
+        self.core_id = core_id
+        self._gen_fn = gen_fn
+        self._gen: Optional[Iterator] = None
+        self.scheme_thread = machine.scheme.register_thread(thread_id, core_id)
+        self.finished = False
+        # region accounting
+        self._region_depth = 0
+        self._region_start: Optional[int] = None
+        self._local_region = 0
+        self.regions_completed = 0
+        self.region_cycles_total = 0
+        self.ops_executed = 0
+        self.start_cycle: Optional[int] = None
+        self.finish_cycle: Optional[int] = None
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def current_rid(self) -> Optional[int]:
+        """Packed id of the region currently executing (oracle convention:
+        the n-th top-level region of thread t is ``pack_rid(t, n)``,
+        matching the ASAP engine's CurRID assignment)."""
+        if self._region_depth <= 0:
+            return None
+        return pack_rid(self.thread_id, self._local_region)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        self._gen = self._gen_fn(self)
+        self.start_cycle = self.machine.scheduler.now
+        self.machine.scheduler.after(0, lambda: self._step(None))
+
+    def _step(self, result) -> None:
+        if self.machine.crashed or self.finished:
+            return
+        try:
+            op = self._gen.send(result)
+        except StopIteration:
+            self.finished = True
+            self.finish_cycle = self.machine.scheduler.now
+            return
+        self.ops_executed += 1
+        self._dispatch(op)
+
+    def _charge_and_step(self, result=None) -> None:
+        base = self.machine.config.core.base_op_cost
+        self.machine.scheduler.after(base, lambda: self._step(result))
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _dispatch(self, op) -> None:
+        scheme = self.machine.scheme
+        if isinstance(op, op_types.Compute):
+            self.machine.scheduler.after(
+                max(0, op.cycles), lambda: self._step(None)
+            )
+        elif isinstance(op, op_types.Write):
+            self._do_write(op.addr, list(op.values))
+        elif isinstance(op, op_types.Read):
+            self._do_read(op.addr, op.nwords)
+        elif isinstance(op, op_types.Begin):
+            self._do_begin()
+        elif isinstance(op, op_types.End):
+            self._do_end()
+        elif isinstance(op, op_types.Lock):
+            op.lock.acquire(self.thread_id, lambda: self._charge_and_step())
+        elif isinstance(op, op_types.Unlock):
+            op.lock.release(self.thread_id, lambda: self._charge_and_step())
+        elif isinstance(op, op_types.Fence):
+            scheme.fence(self.scheme_thread, lambda: self._charge_and_step())
+        elif isinstance(op, op_types.Migrate):
+            self._do_migrate(op.core_id)
+        else:
+            raise SimulationError(f"unknown op {op!r}")
+
+    def _do_migrate(self, new_core: int) -> None:
+        if not 0 <= new_core < self.machine.config.num_cores:
+            raise SimulationError(f"migrate to nonexistent core {new_core}")
+
+        def switched() -> None:
+            self.core_id = new_core
+            self._charge_and_step()
+
+        self.machine.scheme.migrate(self.scheme_thread, new_core, switched)
+
+    # -- memory ops (split per cache line) -----------------------------------------
+
+    def _do_write(self, addr: int, values) -> None:
+        rid = self.current_rid
+        if rid is not None and self.machine.page_table.is_persistent(addr):
+            self.machine.oracle.record_write(rid, addr, values)
+        chunks = _split_by_line(addr, values)
+
+        def issue(index: int) -> None:
+            if index >= len(chunks):
+                self._charge_and_step()
+                return
+            chunk_addr, chunk_values = chunks[index]
+            self.machine.scheme.write(
+                self.scheme_thread,
+                chunk_addr,
+                chunk_values,
+                lambda: issue(index + 1),
+            )
+
+        issue(0)
+
+    def _do_read(self, addr: int, nwords: int) -> None:
+        chunks = _split_read_by_line(addr, nwords)
+        collected: list = []
+
+        def issue(index: int) -> None:
+            if index >= len(chunks):
+                self._charge_and_step(collected)
+                return
+            chunk_addr, chunk_words = chunks[index]
+
+            def got(values) -> None:
+                collected.extend(values)
+                issue(index + 1)
+
+            self.machine.scheme.read(self.scheme_thread, chunk_addr, chunk_words, got)
+
+        issue(0)
+
+    # -- region ops -------------------------------------------------------------------
+
+    def _do_begin(self) -> None:
+        self._region_depth += 1
+        if self._region_depth == 1:
+            self._local_region += 1
+            self._region_start = self.machine.scheduler.now
+        self.machine.scheme.begin(self.scheme_thread, lambda: self._charge_and_step())
+
+    def _do_end(self) -> None:
+        if self._region_depth <= 0:
+            raise SimulationError(f"thread {self.thread_id}: End without Begin")
+        self._region_depth -= 1
+        closing_top_level = self._region_depth == 0
+
+        def after_end() -> None:
+            if closing_top_level:
+                self.regions_completed += 1
+                self.region_cycles_total += (
+                    self.machine.scheduler.now - self._region_start
+                )
+                self._region_start = None
+            self._charge_and_step()
+
+        self.machine.scheme.end(self.scheme_thread, after_end)
+
+
+def _split_by_line(addr: int, values):
+    """Split a word run into (addr, values) chunks within one line each."""
+    chunks = []
+    base = addr & ~(WORD_BYTES - 1)
+    i = 0
+    while i < len(values):
+        start = base + i * WORD_BYTES
+        line_end = line_base(start) + CACHE_LINE_BYTES
+        words_here = min(len(values) - i, (line_end - start) // WORD_BYTES)
+        chunks.append((start, values[i : i + words_here]))
+        i += words_here
+    return chunks
+
+
+def _split_read_by_line(addr: int, nwords: int):
+    chunks = []
+    base = addr & ~(WORD_BYTES - 1)
+    i = 0
+    while i < nwords:
+        start = base + i * WORD_BYTES
+        line_end = line_base(start) + CACHE_LINE_BYTES
+        words_here = min(nwords - i, (line_end - start) // WORD_BYTES)
+        chunks.append((start, words_here))
+        i += words_here
+    return chunks

@@ -1,0 +1,124 @@
+"""Machine assembly: one simulated system under one persistence scheme."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.params import SystemConfig
+from repro.engine import Scheduler
+from repro.mem.controller import MemorySystem
+from repro.mem.hierarchy import CacheHierarchy
+from repro.mem.image import MemoryImage
+from repro.persist.base import PersistenceScheme
+from repro.runtime.heap import PageTable, PersistentHeap, VolatileHeap
+from repro.runtime.locks import SimLock
+from repro.sim.executor import ThreadExecutor
+from repro.sim.oracle import CommitOracle
+from repro.sim.stats import RunResult
+
+
+class Machine:
+    """A full simulated system.
+
+    Construction order matters: images -> memory system -> hierarchy ->
+    scheme attach. Workload threads are added with :meth:`spawn` and the
+    whole run is driven by :meth:`run`.
+    """
+
+    def __init__(self, config: SystemConfig, scheme: PersistenceScheme):
+        self.config = config
+        self.scheduler = Scheduler()
+        self.volatile = MemoryImage("volatile")
+        self.pm_image = MemoryImage("pm")
+        self.page_table = PageTable()
+        self.heap = PersistentHeap(config.address_space, self.page_table)
+        self.dram_heap = VolatileHeap(config.address_space)
+        self.memory = MemorySystem(config, self.scheduler, self.pm_image)
+        self.hierarchy = CacheHierarchy(
+            config,
+            self.scheduler,
+            self.memory,
+            self.volatile,
+            self.page_table.is_persistent,
+        )
+        self.scheme = scheme
+        self.oracle = CommitOracle()
+        scheme.attach(self)
+        scheme.on_commit.append(self.oracle.on_commit)
+        self.executors: List[ThreadExecutor] = []
+        self._next_thread_id = 0
+        self.crashed = False
+
+    # -- workload wiring -----------------------------------------------------
+
+    def new_lock(self, name: Optional[str] = None) -> SimLock:
+        return SimLock(self.scheduler, name)
+
+    def spawn(self, gen_fn: Callable, core_id: Optional[int] = None) -> ThreadExecutor:
+        """Add a workload thread.
+
+        Args:
+            gen_fn: called with the executor's :class:`ThreadExecutor` env;
+                must return a generator yielding ops.
+            core_id: defaults to round-robin over cores.
+        """
+        thread_id = self._next_thread_id
+        self._next_thread_id += 1
+        if core_id is None:
+            core_id = thread_id % self.config.num_cores
+        executor = ThreadExecutor(self, thread_id, core_id, gen_fn)
+        self.executors.append(executor)
+        return executor
+
+    def bootstrap_write(self, addr: int, values) -> None:
+        """Zero-cost initialisation write, as if persisted before the run.
+
+        Applied to the volatile image, the PM image, and the commit oracle's
+        committed image - modelling a data structure that was built and made
+        durable before the measured (and crash-injected) phase begins.
+        """
+        self.volatile.write_range(addr, values)
+        self.pm_image.write_range(addr, values)
+        self.oracle.committed.write_range(addr, values)
+
+    def adopt_image(self, image) -> None:
+        """Resume from a recovered PM image (the restart-after-crash flow).
+
+        Overwrites the volatile, PM, and oracle-committed views with the
+        image's contents - call after installing the workload (so its
+        address layout matches; heap allocation is deterministic) and
+        before :meth:`run`. The continuing run then operates on exactly
+        the durable state the crashed machine left behind.
+        """
+        for word, value in image.items():
+            self.volatile.write_word(word, value)
+            self.pm_image.write_word(word, value)
+            self.oracle.committed.write_word(word, value)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: int = 200_000_000,
+    ) -> RunResult:
+        """Start every thread and drain the event queue.
+
+        Returns the :class:`RunResult` with cycles, region latencies, and
+        PM traffic. Raises on deadlock (threads unfinished, no events).
+        """
+        for executor in self.executors:
+            executor.start()
+        self.scheduler.run(until=until, max_events=max_events)
+        if until is None and not self.crashed:
+            unfinished = [e.thread_id for e in self.executors if not e.finished]
+            if unfinished:
+                raise SimulationError(
+                    f"deadlock: threads {unfinished} never finished and the "
+                    "event queue is empty"
+                )
+        return self.result()
+
+    def result(self) -> RunResult:
+        return RunResult.collect(self)

@@ -1,0 +1,102 @@
+"""The op vocabulary yielded by workload generators.
+
+A workload thread is a generator; each ``yield`` hands one op to the
+executor and receives the op's result (read values, or None) back via
+``send``. This keeps workloads ordinary Python code whose control flow can
+depend on simulated memory contents.
+
+Example::
+
+    def worker(env):
+        a = env.heap.alloc(64)
+        yield Begin()
+        yield Write(a, [1, 2])
+        (x,) = yield Read(a, 1)
+        yield Write(a + 8, [x + 1])
+        yield End()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.runtime.locks import SimLock
+
+
+@dataclass(frozen=True)
+class Begin:
+    """``asap_begin()``: open an atomic region (nesting flattens)."""
+
+
+@dataclass(frozen=True)
+class End:
+    """``asap_end()``: close the current atomic region."""
+
+
+@dataclass(frozen=True)
+class Read:
+    """Load ``nwords`` 8-byte words starting at ``addr``.
+
+    Yields back a list of word values.
+    """
+
+    addr: int
+    nwords: int = 1
+
+
+@dataclass(frozen=True)
+class Write:
+    """Store consecutive words starting at ``addr``.
+
+    ``values`` may span multiple cache lines; the executor issues one
+    scheme-level store per touched line, which is the granularity at which
+    logging and persistence operate.
+    """
+
+    addr: int
+    values: Sequence[int]
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Pure computation costing ``cycles`` (non-memory instructions)."""
+
+    cycles: int
+
+
+@dataclass(frozen=True)
+class Lock:
+    """Acquire a :class:`~repro.runtime.locks.SimLock` (isolation)."""
+
+    lock: SimLock
+
+
+@dataclass(frozen=True)
+class Unlock:
+    """Release a :class:`~repro.runtime.locks.SimLock`."""
+
+    lock: SimLock
+
+
+@dataclass(frozen=True)
+class Fence:
+    """``asap_fence()``: block until the thread's last region committed.
+
+    For synchronous-commit schemes this is a no-op (regions are already
+    durable when ``End`` retires); for ASAP it provides the Sec. 5.2
+    synchronous-persistence escape hatch.
+    """
+
+
+@dataclass(frozen=True)
+class Migrate:
+    """A context switch (Sec. 5.7): resume this thread on another core.
+
+    Thread state registers are saved/restored with the process state; for
+    ASAP the suspended thread's CL List entries are drained first so the
+    thread can safely continue on a core whose CL List never saw them.
+    Must be issued between atomic regions.
+    """
+
+    core_id: int

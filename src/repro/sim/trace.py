@@ -1,0 +1,177 @@
+"""Optional event tracing: a timeline of what the machine did.
+
+Attach a :class:`Tracer` to a machine before running and it records region
+lifecycles (begin / end-retired / committed) and persist-op completions,
+with cycle stamps. Used by the timeline tests to assert *when* things
+happen (e.g. End retires before commit under ASAP, after it under
+HWUndo), by the trace-dump CLI, and handy when debugging a scheme.
+
+The tracer hooks the executor layer (region events) and the scheme's
+commit notifications; persist-op events come from a WPQ accept/drain
+shim. Overhead is one list append per event; leave it off for benchmarks.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.core.rid import unpack_rid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import Machine
+
+#: event kinds
+BEGIN = "begin"
+END = "end"
+COMMIT = "commit"
+PERSIST_ACCEPT = "persist_accept"
+PERSIST_DRAIN = "persist_drain"
+PERSIST_DROP = "persist_drop"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    cycle: int
+    kind: str
+    thread_id: Optional[int] = None
+    rid: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        rid = f" {unpack_rid(self.rid)}" if self.rid is not None else ""
+        return f"@{self.cycle:>8} {self.kind:<14}{rid} {self.detail}".rstrip()
+
+
+class Tracer:
+    """Records a machine's timeline. Attach before :meth:`Machine.run`."""
+
+    def __init__(self, machine: "Machine", trace_persists: bool = True):
+        self.machine = machine
+        self.events: List[TraceEvent] = []
+        self._attach_regions()
+        if trace_persists:
+            self._attach_persists()
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _attach_regions(self) -> None:
+        """Wrap the scheme's begin/end so events stamp at *retirement*.
+
+        ``END`` at the cycle the instruction stream proceeds past the
+        region - which is what makes synchronous vs asynchronous commit
+        visible as a commit-minus-end lag of zero vs positive.
+        """
+        from repro.core.rid import pack_rid
+
+        machine = self.machine
+        scheme = machine.scheme
+        machine.scheme.on_commit.append(
+            lambda rid: self._record(COMMIT, rid=rid)
+        )
+        original_begin = scheme.begin
+        original_end = scheme.end
+        tracer = self
+
+        def traced_begin(thread, done):
+            top_level = thread.nest_depth == 0
+
+            def retired():
+                if top_level:
+                    tracer._record(
+                        BEGIN,
+                        thread_id=thread.thread_id,
+                        rid=pack_rid(thread.thread_id, thread.regions_begun),
+                    )
+                done()
+
+            original_begin(thread, retired)
+
+        def traced_end(thread, done):
+            top_level = thread.nest_depth == 1
+            rid = pack_rid(thread.thread_id, thread.regions_begun)
+
+            def retired():
+                if top_level:
+                    tracer._record(END, thread_id=thread.thread_id, rid=rid)
+                done()
+
+            original_end(thread, retired)
+
+        scheme.begin = traced_begin
+        scheme.end = traced_end
+
+    def _attach_persists(self) -> None:
+        for channel in self.machine.memory.channels:
+            wpq = channel.wpq
+            original_accept = wpq._accept
+            original_drain_hook = wpq._on_drain
+            tracer = self
+
+            def traced_accept(op, _orig=original_accept, ch=channel.index):
+                tracer._record(
+                    PERSIST_ACCEPT, rid=op.rid, detail=f"{op.kind} ch{ch}"
+                )
+                _orig(op)
+
+            def traced_drain(op, _orig=original_drain_hook, ch=channel.index):
+                tracer._record(
+                    PERSIST_DRAIN, rid=op.rid, detail=f"{op.kind} ch{ch}"
+                )
+                if _orig is not None:
+                    _orig(op)
+
+            wpq._accept = traced_accept
+            wpq._on_drain = traced_drain
+
+    def _record(self, kind: str, thread_id=None, rid=None, detail="") -> None:
+        self.events.append(
+            TraceEvent(
+                cycle=self.machine.scheduler.now,
+                kind=kind,
+                thread_id=thread_id,
+                rid=rid,
+                detail=detail,
+            )
+        )
+
+    # -- queries -----------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def region_timeline(self, rid: int) -> dict:
+        """{end: cycle, commit: cycle} for one region (None if absent)."""
+        out = {"end": None, "commit": None}
+        for e in self.events:
+            if e.rid == rid and e.kind in (END, COMMIT):
+                out[e.kind] = e.cycle
+        return out
+
+    def commit_lags(self) -> List[int]:
+        """Commit-minus-end-retire per region: the asynchrony the paper
+        buys (zero everywhere would mean synchronous commit)."""
+        ends = {e.rid: e.cycle for e in self.of_kind(END) if e.rid is not None}
+        return [
+            e.cycle - ends[e.rid]
+            for e in self.of_kind(COMMIT)
+            if e.rid in ends
+        ]
+
+    # -- export -----------------------------------------------------------------------
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["cycle", "kind", "thread", "rid", "detail"])
+        for e in self.events:
+            writer.writerow(
+                [e.cycle, e.kind, e.thread_id if e.thread_id is not None else "",
+                 e.rid if e.rid is not None else "", e.detail]
+            )
+        return buf.getvalue()
+
+    def dump(self, limit: int = 50) -> str:
+        return "\n".join(str(e) for e in self.events[:limit])

@@ -1,0 +1,37 @@
+"""The Table 3 benchmark suite.
+
+Nine multi-threaded workloads stressing persistent-memory update
+performance, re-implemented as persistent data structures over the
+simulated PM heap:
+
+=========  =======================================================
+BN         insert/update entries in a binary tree
+BT         insert/update entries in a B-tree
+CT         insert/update entries in a c-tree (crit-bit trie)
+EO         Echo: a scalable key-value store for PM
+HM         insert/update entries in a hash table
+Q          enqueue/dequeue on a linked queue
+RB         insert/update entries in a red-black tree
+SS         random swaps in an array of strings
+TPCC       the New-Order transaction of TPC-C
+=========  =======================================================
+
+Every workload is thread-safe (conflicting atomic regions nest inside
+critical sections, Sec. 2.1) and parameterised by the per-region payload
+size (64 B / 2 KB in Figs. 7-8).
+"""
+
+from repro.workloads.base import Workload, WorkloadParams, get_workload, workload_names
+from repro.workloads import (  # noqa: F401  (registration side effects)
+    binarytree,
+    btree,
+    ctree,
+    echo,
+    hashmap,
+    queue,
+    rbtree,
+    stringswap,
+    tpcc,
+)
+
+__all__ = ["Workload", "WorkloadParams", "get_workload", "workload_names"]

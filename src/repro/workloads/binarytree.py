@@ -1,0 +1,178 @@
+"""BN: insert/update entries in a binary search tree [27, 53].
+
+Node layout (line-aligned)::
+
+    word 0: key     word 1: left ptr    word 2: right ptr   word 3: size
+    word 4...: payload (``value_bytes``)
+
+Each operation is one atomic region nested in the tree's critical section:
+inserts traverse the search path (reads), allocate and write the node and
+its payload, and link it into the parent; updates overwrite the payload.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.common.units import WORD_BYTES
+from repro.sim.machine import Machine
+from repro.sim.ops import Begin, End, Lock, Read, Unlock, Write
+from repro.workloads.base import Workload, register
+
+_HEADER_WORDS = 4
+
+
+class _ShadowNode:
+    __slots__ = ("key", "left", "right", "addr")
+
+    def __init__(self, key: int, addr: int):
+        self.key = key
+        self.addr = addr
+        self.left: Optional["_ShadowNode"] = None
+        self.right: Optional["_ShadowNode"] = None
+
+
+@register
+class BinaryTree(Workload):
+    """The BN benchmark."""
+
+    name = "BN"
+    description = "Insert/update entries in a binary tree"
+
+    def install(self, machine: Machine) -> None:
+        params = self.params
+        rng = random.Random(params.seed)
+        lock = machine.new_lock("bn")
+        root_cell = machine.heap.alloc(64)
+        self.root_cell = root_cell
+        shadow: Dict[int, _ShadowNode] = {}
+        state = {"root": None}
+
+        def bootstrap_insert(key: int) -> None:
+            node = _ShadowNode(key, self.alloc_node(machine, _HEADER_WORDS))
+            machine.bootstrap_write(
+                node.addr, [key, 0, 0, params.value_words]
+            )
+            machine.bootstrap_write(
+                node.addr + _HEADER_WORDS * WORD_BYTES,
+                self.payload_words(self.derive_value(params.seed, key, 0)),
+            )
+            if state["root"] is None:
+                state["root"] = node
+                machine.bootstrap_write(root_cell, [node.addr])
+            else:
+                cur = state["root"]
+                while True:
+                    if key < cur.key:
+                        if cur.left is None:
+                            cur.left = node
+                            machine.bootstrap_write(cur.addr + 1 * WORD_BYTES, [node.addr])
+                            break
+                        cur = cur.left
+                    else:
+                        if cur.right is None:
+                            cur.right = node
+                            machine.bootstrap_write(cur.addr + 2 * WORD_BYTES, [node.addr])
+                            break
+                        cur = cur.right
+            shadow[key] = node
+
+        setup_keys = rng.sample(range(1, 1 << 30), params.setup_items)
+        for key in setup_keys:
+            bootstrap_insert(key)
+
+        def worker(env, thread_index: int):
+            trng = random.Random(params.seed * 31 + thread_index)
+            for op in range(params.ops_per_thread):
+                do_insert = trng.random() >= params.update_fraction or not shadow
+                yield Lock(lock)
+                yield Begin()
+                if do_insert:
+                    key = trng.randrange(1, 1 << 30)
+                    yield from self._insert(machine, state, shadow, root_cell, key, op)
+                else:
+                    key = trng.choice(list(shadow))
+                    yield from self._update(shadow, key, op)
+                yield End()
+                yield Unlock(lock)
+
+        for t in range(params.num_threads):
+            machine.spawn(lambda env, t=t: worker(env, t))
+
+    # -- operations -----------------------------------------------------------
+
+    def _insert(self, machine, state, shadow, root_cell, key, op_index):
+        value = self.derive_value(self.params.seed, key, op_index)
+        cur = state["root"]
+        parent, went_left = None, False
+        while cur is not None:
+            (node_key,) = yield Read(cur.addr, 1)
+            assert node_key == cur.key, "shadow diverged from simulated memory"
+            if key == node_key:
+                # Key exists: degrade to an update of its payload.
+                yield Write(cur.addr + _HEADER_WORDS * WORD_BYTES, self.payload_words(value))
+                return
+            parent, went_left = cur, key < node_key
+            cur = cur.left if went_left else cur.right
+        node = _ShadowNode(key, self.alloc_node(machine, _HEADER_WORDS))
+        shadow[key] = node
+        # field-by-field initialisation, as real PM code stores it
+        yield Write(node.addr, [key])
+        yield Write(node.addr + 1 * WORD_BYTES, [0, 0])
+        yield Write(node.addr + 3 * WORD_BYTES, [self.params.value_words])
+        yield Write(node.addr + _HEADER_WORDS * WORD_BYTES, self.payload_words(value))
+        if parent is None:
+            state["root"] = node
+            yield Write(root_cell, [node.addr])
+        elif went_left:
+            parent.left = node
+            yield Write(parent.addr + 1 * WORD_BYTES, [node.addr])
+        else:
+            parent.right = node
+            yield Write(parent.addr + 2 * WORD_BYTES, [node.addr])
+
+    def _update(self, shadow, key, op_index):
+        node = shadow[key]
+        (node_key,) = yield Read(node.addr, 1)
+        assert node_key == key
+        value = self.derive_value(self.params.seed, key, op_index + 1)
+        yield Write(node.addr + _HEADER_WORDS * WORD_BYTES, self.payload_words(value))
+
+    # -- semantic validation ----------------------------------------------------
+
+    def validate_image(self, image):
+        """BST invariants: acyclic, keys obey the search-tree ordering."""
+        errors = []
+        root = image.read_word(self.root_cell)
+        if root == 0:
+            return errors
+        visited = set()
+        keys = []
+
+        def walk(addr, lo, hi):
+            if addr == 0 or len(errors) > 5:
+                return
+            if addr in visited:
+                errors.append(f"cycle at node {addr:#x}")
+                return
+            visited.add(addr)
+            key = image.read_word(addr)
+            left = image.read_word(addr + 1 * WORD_BYTES)
+            right = image.read_word(addr + 2 * WORD_BYTES)
+            if not (lo < key < hi):
+                errors.append(f"key {key} at {addr:#x} violates range ({lo}, {hi})")
+            walk(left, lo, key)
+            keys.append(key)
+            walk(right, key, hi)
+
+        import sys
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(100_000)
+        try:
+            walk(root, -1, 1 << 62)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        if keys != sorted(keys):
+            errors.append("in-order traversal not sorted")
+        return errors

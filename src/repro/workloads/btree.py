@@ -1,0 +1,241 @@
+"""BT: insert/update entries in a B-tree [27, 53].
+
+An order-8 B-tree: each node holds up to 7 keys in one cache line and 8
+child/value pointers in a second line::
+
+    line 0: word 0 = count, words 1..7 = keys
+    line 1: words 0..7 = children (internal) or value pointers (leaf)
+
+Values are separate line-aligned allocations of ``value_bytes``. Inserts
+descend the tree (two line reads per level), write the modified leaf
+lines, and on overflow split nodes bottom-up, writing every touched node.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List
+
+from repro.common.units import CACHE_LINE_BYTES
+from repro.sim.machine import Machine
+from repro.sim.ops import Begin, End, Lock, Read, Unlock, Write
+from repro.workloads.base import Workload, register
+
+_MAX_KEYS = 7
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "leaf", "addr")
+
+    def __init__(self, leaf: bool, addr: int):
+        self.leaf = leaf
+        self.addr = addr
+        self.keys: List[int] = []
+        self.children: List["_Node"] = []
+        self.values: List[int] = []  # leaf: value node addrs
+
+    def key_line_words(self) -> List[int]:
+        return [len(self.keys)] + self.keys + [0] * (_MAX_KEYS - len(self.keys))
+
+    def ptr_line_words(self) -> List[int]:
+        ptrs = (
+            [v for v in self.values]
+            if self.leaf
+            else [c.addr for c in self.children]
+        )
+        return ptrs + [0] * (8 - len(ptrs))
+
+
+@register
+class BTree(Workload):
+    """The BT benchmark."""
+
+    name = "BT"
+    description = "Insert/update entries in a b-tree"
+
+    def _alloc_tree_node(self, machine: Machine, leaf: bool) -> _Node:
+        return _Node(leaf, machine.heap.alloc(2 * CACHE_LINE_BYTES))
+
+    def _write_node(self, node: _Node, bootstrap=None):
+        """Emit (or bootstrap) both lines of a node."""
+        if bootstrap is not None:
+            bootstrap(node.addr, node.key_line_words())
+            bootstrap(node.addr + CACHE_LINE_BYTES, node.ptr_line_words())
+            return []
+        return [
+            Write(node.addr, node.key_line_words()),
+            Write(node.addr + CACHE_LINE_BYTES, node.ptr_line_words()),
+        ]
+
+    def install(self, machine: Machine) -> None:
+        params = self.params
+        rng = random.Random(params.seed + 1)
+        lock = machine.new_lock("bt")
+        self.root_cell = machine.heap.alloc(CACHE_LINE_BYTES)
+        state = {"root": self._alloc_tree_node(machine, leaf=True)}
+        key_index = {}  # key -> (leaf accessor resolved at op time)
+
+        def bootstrap_value(key: int) -> int:
+            addr = machine.heap.alloc(params.value_bytes)
+            machine.bootstrap_write(
+                addr, self.payload_words(self.derive_value(params.seed, key, 0))
+            )
+            return addr
+
+        def shadow_insert(key: int, value_addr: int, touched: set) -> None:
+            """Pure shadow insert; records touched nodes for write emission."""
+            root = state["root"]
+            if len(root.keys) == _MAX_KEYS:
+                new_root = self._alloc_tree_node(machine, leaf=False)
+                new_root.children = [root]
+                self._split_child(machine, new_root, 0, touched)
+                state["root"] = new_root
+                touched.add(new_root)
+            self._insert_nonfull(machine, state["root"], key, value_addr, touched)
+
+        # bootstrap
+        for key in rng.sample(range(1, 1 << 30), params.setup_items):
+            touched: set = set()
+            shadow_insert(key, bootstrap_value(key), touched)
+            key_index[key] = True
+            for node in touched:
+                self._write_node(node, bootstrap=machine.bootstrap_write)
+        self._write_node(state["root"], bootstrap=machine.bootstrap_write)
+        machine.bootstrap_write(self.root_cell, [state["root"].addr])
+
+        def worker(env, thread_index: int):
+            trng = random.Random(params.seed * 37 + thread_index)
+            for op in range(params.ops_per_thread):
+                yield Lock(lock)
+                yield Begin()
+                if trng.random() >= params.update_fraction or not key_index:
+                    key = trng.randrange(1, 1 << 30)
+                    yield from self._op_insert(machine, state, key_index, key, op, shadow_insert)
+                else:
+                    key = trng.choice(list(key_index))
+                    yield from self._op_update(machine, state, key, op)
+                yield End()
+                yield Unlock(lock)
+
+        for t in range(params.num_threads):
+            machine.spawn(lambda env, t=t: worker(env, t))
+
+    # -- shadow split/insert ----------------------------------------------------
+
+    def _split_child(self, machine: Machine, parent: _Node, idx: int, touched: set) -> None:
+        child = parent.children[idx]
+        sibling = self._alloc_tree_node(machine, child.leaf)
+        mid = _MAX_KEYS // 2
+        up_key = child.keys[mid]
+        sibling.keys = child.keys[mid + 1 :]
+        if child.leaf:
+            # Leaf split keeps the separator in the right leaf (B+-ish).
+            sibling.keys = child.keys[mid:]
+            sibling.values = child.values[mid:]
+            child.keys = child.keys[:mid]
+            child.values = child.values[:mid]
+        else:
+            sibling.children = child.children[mid + 1 :]
+            child.keys = child.keys[:mid]
+            child.children = child.children[: mid + 1]
+        parent.keys.insert(idx, up_key)
+        parent.children.insert(idx + 1, sibling)
+        touched.update((parent, child, sibling))
+
+    def _insert_nonfull(self, machine: Machine, node: _Node, key: int, value_addr: int, touched: set) -> None:
+        if node.leaf:
+            pos = bisect.bisect_left(node.keys, key)
+            if pos < len(node.keys) and node.keys[pos] == key:
+                node.values[pos] = value_addr
+            else:
+                node.keys.insert(pos, key)
+                node.values.insert(pos, value_addr)
+            touched.add(node)
+            return
+        pos = bisect.bisect_right(node.keys, key)
+        child = node.children[pos]
+        if len(child.keys) == _MAX_KEYS:
+            self._split_child(machine, node, pos, touched)
+            if key > node.keys[pos]:
+                pos += 1
+        self._insert_nonfull(machine, node.children[pos], key, value_addr, touched)
+
+    def _search_path(self, state, key: int):
+        """Shadow search; returns (path nodes, leaf, value index or None)."""
+        path = []
+        node = state["root"]
+        while True:
+            path.append(node)
+            if node.leaf:
+                pos = bisect.bisect_left(node.keys, key)
+                if pos < len(node.keys) and node.keys[pos] == key:
+                    return path, node, pos
+                return path, node, None
+            node = node.children[bisect.bisect_right(node.keys, key)]
+
+    # -- op streams -----------------------------------------------------------------
+
+    def _op_insert(self, machine, state, key_index, key, op_index, shadow_insert):
+        path, _leaf, _pos = self._search_path(state, key)
+        for node in path:
+            yield Read(node.addr, 8)  # key line
+            yield Read(node.addr + CACHE_LINE_BYTES, 8)  # ptr line
+        value_addr = machine.heap.alloc(self.params.value_bytes)
+        value = self.derive_value(self.params.seed, key, op_index)
+        yield Write(value_addr, self.payload_words(value))
+        old_root = state["root"]
+        touched: set = set()
+        shadow_insert(key, value_addr, touched)
+        key_index[key] = True
+        for node in sorted(touched, key=lambda n: n.addr):
+            for op in self._write_node(node):
+                yield op
+        if state["root"] is not old_root:
+            yield Write(self.root_cell, [state["root"].addr])
+
+    def _op_update(self, machine, state, key, op_index):
+        path, leaf, pos = self._search_path(state, key)
+        for node in path:
+            yield Read(node.addr, 8)
+            yield Read(node.addr + CACHE_LINE_BYTES, 8)
+        value = self.derive_value(self.params.seed, key, op_index + 3)
+        if pos is None:
+            return
+        yield Write(leaf.values[pos], self.payload_words(value))
+
+    # -- semantic validation ----------------------------------------------------
+
+    def validate_image(self, image):
+        """B-tree invariants: sorted keys within nodes, child subtrees obey
+        separator ranges, counts within capacity."""
+        errors = []
+        root = image.read_word(self.root_cell)
+        if root == 0:
+            return errors
+
+        def walk(addr, lo, hi, depth):
+            if len(errors) > 5 or depth > 64:
+                return
+            count = image.read_word(addr)
+            if count > _MAX_KEYS:
+                errors.append(f"node {addr:#x} count {count} > {_MAX_KEYS}")
+                return
+            keys = [image.read_word(addr + 8 * (1 + i)) for i in range(count)]
+            if keys != sorted(keys):
+                errors.append(f"unsorted keys in node {addr:#x}")
+            for k in keys:
+                if not (lo <= k < hi):
+                    errors.append(f"key {k} outside range [{lo}, {hi}) at {addr:#x}")
+            ptrs = [
+                image.read_word(addr + CACHE_LINE_BYTES + 8 * i) for i in range(8)
+            ]
+            child_count = sum(1 for p in ptrs if p)
+            if child_count > count:  # internal node: children = count + 1
+                bounds = [lo] + keys + [hi]
+                for i in range(count + 1):
+                    if ptrs[i]:
+                        walk(ptrs[i], bounds[i], bounds[i + 1], depth + 1)
+
+        walk(root, 0, 1 << 62, 0)
+        return errors

@@ -1,0 +1,200 @@
+"""CT: insert/update entries in a c-tree (crit-bit trie) [27, 53].
+
+Internal node: one line ``[crit_bit, left, right]``; leaf: header line
+``[key]`` followed by the payload. Insert walks the trie by the key's
+bits, finds the highest differing bit against the best-match leaf, and
+splices a new internal node into the path - the classic crit-bit insert,
+touching O(depth) lines.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.common.units import CACHE_LINE_BYTES, WORD_BYTES
+from repro.sim.machine import Machine
+from repro.sim.ops import Begin, End, Lock, Read, Unlock, Write
+from repro.workloads.base import Workload, register
+
+_KEY_BITS = 30
+
+
+class _Leaf:
+    __slots__ = ("key", "addr")
+
+    def __init__(self, key: int, addr: int):
+        self.key = key
+        self.addr = addr
+
+
+class _Internal:
+    __slots__ = ("bit", "left", "right", "addr")
+
+    def __init__(self, bit: int, addr: int):
+        self.bit = bit
+        self.left = None
+        self.right = None
+        self.addr = addr
+
+
+def _bit(key: int, i: int) -> int:
+    return (key >> (_KEY_BITS - 1 - i)) & 1
+
+
+@register
+class CTree(Workload):
+    """The CT benchmark."""
+
+    name = "CT"
+    description = "Insert/update entries in a c-tree"
+
+    def install(self, machine: Machine) -> None:
+        params = self.params
+        rng = random.Random(params.seed + 2)
+        lock = machine.new_lock("ct")
+        root_cell = machine.heap.alloc(CACHE_LINE_BYTES)
+        self.root_cell = root_cell
+        state = {"root": None}
+
+        def new_leaf(key: int, write) -> _Leaf:
+            leaf = _Leaf(key, self.alloc_node(machine, 8))
+            write(leaf.addr, [key])
+            write(
+                leaf.addr + CACHE_LINE_BYTES,
+                self.payload_words(self.derive_value(params.seed, key, 0)),
+            )
+            return leaf
+
+        def insert(key: int, write, reads=None):
+            """Shadow + emission insert; ``reads`` collects read ops."""
+            if state["root"] is None:
+                leaf = new_leaf(key, write)
+                state["root"] = leaf
+                write(root_cell, [leaf.addr])
+                return leaf
+            # walk to best-match leaf
+            node = state["root"]
+            while isinstance(node, _Internal):
+                if reads is not None:
+                    reads.append(Read(node.addr, 3))
+                node = node.right if _bit(key, node.bit) else node.left
+            if reads is not None:
+                reads.append(Read(node.addr, 1))
+            if node.key == key:
+                return node  # caller updates payload
+            diff = next(i for i in range(_KEY_BITS) if _bit(key, i) != _bit(node.key, i))
+            leaf = new_leaf(key, write)
+            new_int = _Internal(diff, machine.heap.alloc(CACHE_LINE_BYTES))
+            # splice: descend again until the insertion point
+            parent: Optional[_Internal] = None
+            cur = state["root"]
+            while isinstance(cur, _Internal) and cur.bit < diff:
+                if reads is not None:
+                    reads.append(Read(cur.addr, 3))
+                parent = cur
+                cur = cur.right if _bit(key, cur.bit) else cur.left
+            if _bit(key, diff):
+                new_int.left, new_int.right = cur, leaf
+            else:
+                new_int.left, new_int.right = leaf, cur
+            left_addr = new_int.left.addr
+            right_addr = new_int.right.addr
+            write(new_int.addr, [diff, left_addr, right_addr])
+            if parent is None:
+                state["root"] = new_int
+                write(root_cell, [new_int.addr])
+            else:
+                if parent.right is cur:
+                    parent.right = new_int
+                    write(parent.addr + 2 * WORD_BYTES, [new_int.addr])
+                else:
+                    parent.left = new_int
+                    write(parent.addr + 1 * WORD_BYTES, [new_int.addr])
+            return leaf
+
+        shadow = {}
+        for key in rng.sample(range(1, 1 << _KEY_BITS), params.setup_items):
+            shadow[key] = insert(key, machine.bootstrap_write)
+
+        def worker(env, thread_index: int):
+            trng = random.Random(params.seed * 41 + thread_index)
+            for op in range(params.ops_per_thread):
+                yield Lock(lock)
+                yield Begin()
+                pending_writes = []
+                reads = []
+
+                def emit(addr, words):
+                    pending_writes.append(Write(addr, words))
+
+                if trng.random() >= params.update_fraction or not shadow:
+                    key = trng.randrange(1, 1 << _KEY_BITS)
+                    leaf = insert(key, emit, reads)
+                    shadow[key] = leaf
+                    for r in reads:
+                        yield r
+                    for w in pending_writes:
+                        yield w
+                    if not pending_writes:  # existing key: update payload
+                        value = self.derive_value(params.seed, key, op)
+                        yield Write(leaf.addr + CACHE_LINE_BYTES, self.payload_words(value))
+                else:
+                    key = trng.choice(list(shadow))
+                    leaf = shadow[key]
+                    (k,) = yield Read(leaf.addr, 1)
+                    assert k == key
+                    value = self.derive_value(params.seed, key, op + 11)
+                    yield Write(leaf.addr + CACHE_LINE_BYTES, self.payload_words(value))
+                yield End()
+                yield Unlock(lock)
+
+        for t in range(params.num_threads):
+            machine.spawn(lambda env, t=t: worker(env, t))
+
+    # -- semantic validation ----------------------------------------------------
+
+    def validate_image(self, image):
+        """Crit-bit invariants: internal nodes' bit indices strictly
+        increase downward; every leaf's key matches the bit-path taken."""
+        errors = []
+        root = image.read_word(self.root_cell)
+        if root == 0:
+            return errors
+        # distinguishing internal nodes from leaves: internal word0 is a
+        # bit index < _KEY_BITS and has nonzero children; leaf word0 is a
+        # key >= 1 << ... keys start at 1, bits at 0 - use children words.
+        def is_internal(addr):
+            left = image.read_word(addr + 1 * WORD_BYTES)
+            right = image.read_word(addr + 2 * WORD_BYTES)
+            return left != 0 and right != 0
+
+        def walk(addr, last_bit, constraints):
+            if len(errors) > 5:
+                return
+            if is_internal(addr):
+                bit = image.read_word(addr)
+                if bit <= last_bit:
+                    errors.append(f"non-increasing crit bit {bit} at {addr:#x}")
+                    return
+                left = image.read_word(addr + 1 * WORD_BYTES)
+                right = image.read_word(addr + 2 * WORD_BYTES)
+                walk(left, bit, constraints + [(bit, 0)])
+                walk(right, bit, constraints + [(bit, 1)])
+            else:
+                key = image.read_word(addr)
+                for bit, expected in constraints:
+                    if _bit(key, bit) != expected:
+                        errors.append(
+                            f"leaf key {key} contradicts path bit {bit}"
+                        )
+                        break
+
+        import sys
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(100_000)
+        try:
+            walk(root, -1, [])
+        finally:
+            sys.setrecursionlimit(old_limit)
+        return errors

@@ -1,0 +1,187 @@
+"""EO: Echo, a scalable key-value store for persistent memory [10, 53].
+
+Echo's signature structure: a hash index over keys where each key holds a
+*version chain*, plus a global commit timestamp. A ``put`` allocates a new
+version ``[timestamp, prev_version, key]`` + payload, links it at the head
+of the key's chain, and advances the global timestamp - the timestamp cell
+is shared by every thread, creating the cross-thread data dependences that
+exercise ASAP's Dependence List.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.common.units import CACHE_LINE_BYTES, WORD_BYTES
+from repro.sim.machine import Machine
+from repro.sim.ops import Begin, End, Lock, Read, Unlock, Write
+from repro.workloads.base import Workload, register
+
+_NUM_BUCKETS = 32
+
+
+class _Version:
+    __slots__ = ("ts", "prev", "addr")
+
+    def __init__(self, ts: int, prev: Optional["_Version"], addr: int):
+        self.ts = ts
+        self.prev = prev
+        self.addr = addr
+
+
+class _KeyEntry:
+    __slots__ = ("key", "head", "next", "addr")
+
+    def __init__(self, key: int, addr: int, nxt: Optional["_KeyEntry"]):
+        self.key = key
+        self.head: Optional[_Version] = None
+        self.next = nxt
+        self.addr = addr
+
+
+@register
+class Echo(Workload):
+    """The EO benchmark."""
+
+    name = "EO"
+    description = "Echo: a scalable key-value store for PM"
+
+    def install(self, machine: Machine) -> None:
+        params = self.params
+        rng = random.Random(params.seed + 4)
+        store_lock = machine.new_lock("eo")
+        ts_cell = machine.heap.alloc(CACHE_LINE_BYTES)
+        bucket_base = machine.heap.alloc(_NUM_BUCKETS * CACHE_LINE_BYTES)
+        self.ts_cell = ts_cell
+        self.bucket_base = bucket_base
+        buckets = [None] * _NUM_BUCKETS
+        shadow: Dict[int, _KeyEntry] = {}
+        clock = {"ts": 1}
+        machine.bootstrap_write(ts_cell, [clock["ts"]])
+
+        def hash_of(key: int) -> int:
+            return (key * 40503) % _NUM_BUCKETS
+
+        def bucket_addr(b: int) -> int:
+            return bucket_base + b * CACHE_LINE_BYTES
+
+        def bootstrap_put(key: int) -> None:
+            b = hash_of(key)
+            entry = _KeyEntry(key, machine.heap.alloc(CACHE_LINE_BYTES), buckets[b])
+            version = _Version(clock["ts"], None, self.alloc_node(machine, 3))
+            entry.head = version
+            machine.bootstrap_write(version.addr, [version.ts, 0, key])
+            machine.bootstrap_write(
+                version.addr + CACHE_LINE_BYTES,
+                self.payload_words(self.derive_value(params.seed, key, 0)),
+            )
+            machine.bootstrap_write(
+                entry.addr, [key, version.addr, entry.next.addr if entry.next else 0]
+            )
+            machine.bootstrap_write(bucket_addr(b), [entry.addr])
+            buckets[b] = entry
+            shadow[key] = entry
+            clock["ts"] += 1
+        for key in rng.sample(range(1, 1 << 30), params.setup_items):
+            bootstrap_put(key)
+        machine.bootstrap_write(ts_cell, [clock["ts"]])
+
+        def worker(env, thread_index: int):
+            trng = random.Random(params.seed * 47 + thread_index)
+            for op in range(params.ops_per_thread):
+                is_put = trng.random() < 0.7 or not shadow
+                yield Lock(store_lock)
+                yield Begin()
+                if is_put:
+                    new_key = trng.random() < 0.3
+                    key = (
+                        trng.randrange(1, 1 << 30)
+                        if new_key or not shadow
+                        else trng.choice(list(shadow))
+                    )
+                    yield from self._put(machine, key, op, buckets, shadow,
+                                         bucket_addr, hash_of, ts_cell, clock)
+                else:
+                    key = trng.choice(list(shadow))
+                    yield from self._get(shadow, key)
+                yield End()
+                yield Unlock(store_lock)
+
+        for t in range(params.num_threads):
+            machine.spawn(lambda env, t=t: worker(env, t))
+
+    def _put(self, machine, key, op_index, buckets, shadow, bucket_addr, hash_of, ts_cell, clock):
+        b = hash_of(key)
+        yield Read(bucket_addr(b), 1)
+        entry = shadow.get(key)
+        cur = buckets[b]
+        while cur is not None and cur is not entry:
+            yield Read(cur.addr, 3)
+            cur = cur.next
+        (ts,) = yield Read(ts_cell, 1)
+        version = _Version(ts, entry.head if entry else None,
+                           self.alloc_node(machine, 3))
+        yield Write(version.addr, [ts, version.prev.addr if version.prev else 0, key])
+        value = self.derive_value(self.params.seed, key, op_index)
+        yield Write(version.addr + CACHE_LINE_BYTES, self.payload_words(value))
+        if entry is None:
+            entry = _KeyEntry(key, machine.heap.alloc(CACHE_LINE_BYTES), buckets[b])
+            buckets[b] = entry
+            shadow[key] = entry
+            entry.head = version
+            yield Write(entry.addr, [key, version.addr,
+                                     entry.next.addr if entry.next else 0])
+            yield Write(bucket_addr(b), [entry.addr])
+        else:
+            entry.head = version
+            yield Write(entry.addr + WORD_BYTES, [version.addr])
+        clock["ts"] = ts + 1
+        yield Write(ts_cell, [ts + 1])
+
+    def _get(self, shadow, key):
+        entry = shadow[key]
+        vals = yield Read(entry.addr, 3)
+        head = entry.head
+        yield Read(head.addr, 3)
+        yield Read(head.addr + CACHE_LINE_BYTES, min(8, self.params.value_words))
+
+    # -- semantic validation ----------------------------------------------------
+
+    def validate_image(self, image):
+        """KV invariants: bucket chains acyclic and correctly hashed;
+        version chains strictly descend in timestamp, all below the global
+        clock; every version records its owning key."""
+        errors = []
+        clock = image.read_word(self.ts_cell)
+        for b in range(_NUM_BUCKETS):
+            entry = image.read_word(self.bucket_base + b * CACHE_LINE_BYTES)
+            seen_entries = set()
+            while entry != 0 and len(errors) < 5:
+                if entry in seen_entries:
+                    errors.append(f"entry cycle in bucket {b}")
+                    break
+                seen_entries.add(entry)
+                key = image.read_word(entry)
+                if (key * 40503) % _NUM_BUCKETS != b:
+                    errors.append(f"key {key} hashed to wrong bucket {b}")
+                version = image.read_word(entry + WORD_BYTES)
+                last_ts = 1 << 62
+                seen_versions = set()
+                while version != 0 and len(errors) < 5:
+                    if version in seen_versions:
+                        errors.append(f"version cycle for key {key}")
+                        break
+                    seen_versions.add(version)
+                    ts = image.read_word(version)
+                    vkey = image.read_word(version + 2 * WORD_BYTES)
+                    if vkey != key:
+                        errors.append(f"version of key {key} claims key {vkey}")
+                    if ts >= last_ts:
+                        errors.append(f"version timestamps not descending for key {key}")
+                    if ts >= clock:
+                        errors.append(f"version ts {ts} >= global clock {clock}")
+                    last_ts = ts
+                    version = image.read_word(version + WORD_BYTES)
+                entry = image.read_word(entry + 2 * WORD_BYTES)
+        return errors

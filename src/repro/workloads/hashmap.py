@@ -1,0 +1,131 @@
+"""HM: insert/update entries in a chained hash table [27, 53].
+
+A fixed bucket array of head pointers (one word each) with per-stripe
+locks, so threads in different stripes proceed in parallel. Entries are
+``[key, next]`` headers followed by the payload. Inserts prepend to the
+chain (write entry, write bucket head); updates walk the chain (reads) and
+overwrite the payload.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.common.units import CACHE_LINE_BYTES, WORD_BYTES
+from repro.sim.machine import Machine
+from repro.sim.ops import Begin, End, Lock, Read, Unlock, Write
+from repro.workloads.base import Workload, register
+
+_NUM_BUCKETS = 64
+_NUM_STRIPES = 8
+
+
+class _Entry:
+    __slots__ = ("key", "next", "addr")
+
+    def __init__(self, key: int, addr: int, nxt: Optional["_Entry"]):
+        self.key = key
+        self.addr = addr
+        self.next = nxt
+
+
+@register
+class HashMap(Workload):
+    """The HM benchmark."""
+
+    name = "HM"
+    description = "Insert/update entries in a hash table"
+
+    def install(self, machine: Machine) -> None:
+        params = self.params
+        rng = random.Random(params.seed + 3)
+        # Bucket heads: one word per bucket, spread one per line to avoid
+        # pathological false sharing between stripes.
+        bucket_base = machine.heap.alloc(_NUM_BUCKETS * CACHE_LINE_BYTES)
+        self.bucket_base = bucket_base
+        buckets: List[Optional[_Entry]] = [None] * _NUM_BUCKETS
+        locks = [machine.new_lock(f"hm{s}") for s in range(_NUM_STRIPES)]
+        shadow: Dict[int, _Entry] = {}
+
+        def bucket_addr(b: int) -> int:
+            return bucket_base + b * CACHE_LINE_BYTES
+
+        def hash_of(key: int) -> int:
+            return (key * 2654435761) % _NUM_BUCKETS
+
+        def bootstrap_insert(key: int) -> None:
+            b = hash_of(key)
+            entry = _Entry(key, self.alloc_node(machine, 2), buckets[b])
+            machine.bootstrap_write(
+                entry.addr, [key, entry.next.addr if entry.next else 0]
+            )
+            machine.bootstrap_write(
+                entry.addr + CACHE_LINE_BYTES,
+                self.payload_words(self.derive_value(params.seed, key, 0)),
+            )
+            machine.bootstrap_write(bucket_addr(b), [entry.addr])
+            buckets[b] = entry
+            shadow[key] = entry
+
+        for key in rng.sample(range(1, 1 << 30), params.setup_items):
+            bootstrap_insert(key)
+
+        def worker(env, thread_index: int):
+            trng = random.Random(params.seed * 43 + thread_index)
+            for op in range(params.ops_per_thread):
+                insert = trng.random() >= params.update_fraction or not shadow
+                key = (
+                    trng.randrange(1, 1 << 30)
+                    if insert
+                    else trng.choice(list(shadow))
+                )
+                b = hash_of(key)
+                stripe = locks[b % _NUM_STRIPES]
+                yield Lock(stripe)
+                yield Begin()
+                # walk the chain
+                (head_addr,) = yield Read(bucket_addr(b), 1)
+                cur = buckets[b]
+                found = None
+                while cur is not None:
+                    vals = yield Read(cur.addr, 2)
+                    if cur.key == key:
+                        found = cur
+                        break
+                    cur = cur.next
+                value = self.derive_value(params.seed, key, op)
+                if found is not None:
+                    yield Write(found.addr + CACHE_LINE_BYTES, self.payload_words(value))
+                else:
+                    entry = _Entry(key, self.alloc_node(machine, 2), buckets[b])
+                    yield Write(entry.addr, [key])
+                    yield Write(entry.addr + 8, [entry.next.addr if entry.next else 0])
+                    yield Write(entry.addr + CACHE_LINE_BYTES, self.payload_words(value))
+                    yield Write(bucket_addr(b), [entry.addr])
+                    buckets[b] = entry
+                    shadow[key] = entry
+                yield End()
+                yield Unlock(stripe)
+
+        for t in range(params.num_threads):
+            machine.spawn(lambda env, t=t: worker(env, t))
+
+    # -- semantic validation ----------------------------------------------------
+
+    def validate_image(self, image):
+        """Chain invariants: acyclic chains whose keys hash to their bucket."""
+        errors = []
+        for b in range(_NUM_BUCKETS):
+            addr = image.read_word(self.bucket_base + b * CACHE_LINE_BYTES)
+            seen = set()
+            while addr != 0 and len(errors) < 5:
+                if addr in seen:
+                    errors.append(f"cycle in bucket {b}")
+                    break
+                seen.add(addr)
+                key = image.read_word(addr)
+                if (key * 2654435761) % _NUM_BUCKETS != b:
+                    errors.append(f"key {key} in wrong bucket {b}")
+                addr = image.read_word(addr + WORD_BYTES)
+        return errors

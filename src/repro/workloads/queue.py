@@ -1,0 +1,146 @@
+"""Q: enqueue/dequeue on a persistent linked queue [27, 53].
+
+A two-lock Michael-Scott queue with a permanent dummy node: enqueuers hold
+the tail lock and dequeuers the head lock, so both ends proceed in
+parallel. Node layout: ``[next, seq]`` header line + payload.
+
+The queue is the paper's posterchild for DPO dropping (Sec. 7.2): the
+head/tail anchor lines and each node's ``next`` pointer are written by one
+region and immediately re-written or logged by the next, so an LPO for the
+same line routinely finds the prior region's DPO still queued.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.common.units import CACHE_LINE_BYTES, WORD_BYTES
+from repro.sim.machine import Machine
+from repro.sim.ops import Begin, End, Lock, Read, Unlock, Write
+from repro.workloads.base import Workload, register
+
+
+class _Node:
+    __slots__ = ("addr", "next", "seq")
+
+    def __init__(self, addr: int, seq: int):
+        self.addr = addr
+        self.next: Optional["_Node"] = None
+        self.seq = seq
+
+
+@register
+class Queue(Workload):
+    """The Q benchmark."""
+
+    name = "Q"
+    description = "Enqueue/dequeue entries in a persistent queue"
+
+    def install(self, machine: Machine) -> None:
+        params = self.params
+        head_lock = machine.new_lock("q-head")
+        tail_lock = machine.new_lock("q-tail")
+        anchor = machine.heap.alloc(2 * CACHE_LINE_BYTES)  # head line, tail line
+        head_cell, tail_cell = anchor, anchor + CACHE_LINE_BYTES
+        self.head_cell, self.tail_cell = head_cell, tail_cell
+
+        dummy = _Node(self.alloc_node(machine, 2), 0)
+        machine.bootstrap_write(dummy.addr, [0, 0])
+        machine.bootstrap_write(head_cell, [dummy.addr])
+        machine.bootstrap_write(tail_cell, [dummy.addr])
+        state = {"head": dummy, "tail": dummy, "seq": 1, "size": 0}
+
+        # bootstrap a few elements so dequeues find work immediately
+        for i in range(params.setup_items):
+            node = _Node(self.alloc_node(machine, 2), state["seq"])
+            machine.bootstrap_write(node.addr, [0, node.seq])
+            machine.bootstrap_write(
+                node.addr + CACHE_LINE_BYTES,
+                self.payload_words(self.derive_value(params.seed, node.seq, 0)),
+            )
+            machine.bootstrap_write(state["tail"].addr, [node.addr, state["tail"].seq])
+            state["tail"].next = node
+            machine.bootstrap_write(tail_cell, [node.addr])
+            state["tail"] = node
+            state["seq"] += 1
+            state["size"] += 1
+
+        def enqueue(op_index: int):
+            yield Lock(tail_lock)
+            yield Begin()
+            seq = state["seq"]
+            state["seq"] += 1
+            node = _Node(self.alloc_node(machine, 2), seq)
+            yield Write(node.addr, [0])
+            yield Write(node.addr + 8, [seq])
+            value = self.derive_value(params.seed, seq, op_index)
+            yield Write(node.addr + CACHE_LINE_BYTES, self.payload_words(value))
+            (tail_addr,) = yield Read(tail_cell, 1)
+            tail = state["tail"]
+            assert tail.addr == tail_addr
+            yield Write(tail.addr, [node.addr, tail.seq])
+            tail.next = node
+            yield Write(tail_cell, [node.addr])
+            state["tail"] = node
+            state["size"] += 1
+            yield End()
+            yield Unlock(tail_lock)
+
+        def dequeue():
+            yield Lock(head_lock)
+            yield Begin()
+            (head_addr,) = yield Read(head_cell, 1)
+            head = state["head"]
+            (next_addr, _seq) = yield Read(head.addr, 2)
+            if next_addr != 0 and head.next is not None:
+                node = head.next
+                yield Read(node.addr + CACHE_LINE_BYTES, min(8, params.value_words))
+                yield Write(head_cell, [node.addr])
+                state["head"] = node
+                state["size"] -= 1
+            yield End()
+            yield Unlock(head_lock)
+
+        def worker(env, thread_index: int):
+            trng = random.Random(params.seed * 53 + thread_index)
+            for op in range(params.ops_per_thread):
+                if trng.random() < 0.6:
+                    yield from enqueue(op)
+                else:
+                    yield from dequeue()
+
+        for t in range(params.num_threads):
+            machine.spawn(lambda env, t=t: worker(env, t))
+
+    # -- semantic validation ----------------------------------------------------
+
+    def validate_image(self, image):
+        """Queue invariants: head reaches tail; sequence numbers ascend."""
+        errors = []
+        head = image.read_word(self.head_cell)
+        tail = image.read_word(self.tail_cell)
+        if head == 0 or tail == 0:
+            return ["head or tail pointer is null"]
+        addr = head
+        seen = set()
+        last_seq = -1
+        reached_tail = False
+        while addr != 0:
+            if addr in seen:
+                errors.append(f"cycle at node {addr:#x}")
+                break
+            seen.add(addr)
+            if addr == tail:
+                reached_tail = True
+            nxt = image.read_word(addr)
+            seq = image.read_word(addr + WORD_BYTES)
+            if nxt != 0:
+                next_seq = image.read_word(nxt + WORD_BYTES)
+                if next_seq <= seq and not (seq == 0):
+                    errors.append(f"sequence not ascending at {addr:#x}: {seq} -> {next_seq}")
+            last_seq = seq
+            addr = nxt
+        if not reached_tail:
+            errors.append("walking next pointers from head never reaches tail")
+        return errors

@@ -1,0 +1,255 @@
+"""RB: insert/update entries in a red-black tree [27, 53].
+
+Node layout: one header line ``[key, left, right, parent, color]`` plus
+the payload. An insert performs the textbook BST insert followed by the
+red-black fixup (recolourings and rotations); the shadow model collects
+every node whose fields changed and the workload emits one header-line
+write per touched node - matching a hand-coalesced PM implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Set
+
+from repro.common.units import CACHE_LINE_BYTES, WORD_BYTES
+from repro.sim.machine import Machine
+from repro.sim.ops import Begin, End, Lock, Read, Unlock, Write
+from repro.workloads.base import Workload, register
+
+RED, BLACK = 0, 1
+
+
+class _Node:
+    __slots__ = ("key", "left", "right", "parent", "color", "addr")
+
+    def __init__(self, key: int, addr: int):
+        self.key = key
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.parent: Optional["_Node"] = None
+        self.color = RED
+        self.addr = addr
+
+    def header_words(self):
+        return [
+            self.key,
+            self.left.addr if self.left else 0,
+            self.right.addr if self.right else 0,
+            self.parent.addr if self.parent else 0,
+            self.color,
+        ]
+
+
+@register
+class RBTree(Workload):
+    """The RB benchmark."""
+
+    name = "RB"
+    description = "Insert/update entries in a red-black tree"
+
+    def install(self, machine: Machine) -> None:
+        params = self.params
+        rng = random.Random(params.seed + 6)
+        lock = machine.new_lock("rb")
+        root_cell = machine.heap.alloc(CACHE_LINE_BYTES)
+        self.root_cell = root_cell
+        shadow: Dict[int, _Node] = {}
+        state = {"root": None}
+
+        def rotate_left(x: _Node, touched: Set[_Node]) -> None:
+            y = x.right
+            x.right = y.left
+            if y.left:
+                y.left.parent = x
+                touched.add(y.left)
+            y.parent = x.parent
+            if x.parent is None:
+                state["root"] = y
+            elif x is x.parent.left:
+                x.parent.left = y
+            else:
+                x.parent.right = y
+            if x.parent:
+                touched.add(x.parent)
+            y.left = x
+            x.parent = y
+            touched.update((x, y))
+
+        def rotate_right(x: _Node, touched: Set[_Node]) -> None:
+            y = x.left
+            x.left = y.right
+            if y.right:
+                y.right.parent = x
+                touched.add(y.right)
+            y.parent = x.parent
+            if x.parent is None:
+                state["root"] = y
+            elif x is x.parent.right:
+                x.parent.right = y
+            else:
+                x.parent.left = y
+            if x.parent:
+                touched.add(x.parent)
+            y.right = x
+            x.parent = y
+            touched.update((x, y))
+
+        def fixup(z: _Node, touched: Set[_Node]) -> None:
+            while z.parent is not None and z.parent.color == RED:
+                gp = z.parent.parent
+                if gp is None:
+                    break
+                if z.parent is gp.left:
+                    uncle = gp.right
+                    if uncle is not None and uncle.color == RED:
+                        z.parent.color = BLACK
+                        uncle.color = BLACK
+                        gp.color = RED
+                        touched.update((z.parent, uncle, gp))
+                        z = gp
+                    else:
+                        if z is z.parent.right:
+                            z = z.parent
+                            rotate_left(z, touched)
+                        z.parent.color = BLACK
+                        gp.color = RED
+                        touched.update((z.parent, gp))
+                        rotate_right(gp, touched)
+                else:
+                    uncle = gp.left
+                    if uncle is not None and uncle.color == RED:
+                        z.parent.color = BLACK
+                        uncle.color = BLACK
+                        gp.color = RED
+                        touched.update((z.parent, uncle, gp))
+                        z = gp
+                    else:
+                        if z is z.parent.left:
+                            z = z.parent
+                            rotate_right(z, touched)
+                        z.parent.color = BLACK
+                        gp.color = RED
+                        touched.update((z.parent, gp))
+                        rotate_left(gp, touched)
+            root = state["root"]
+            if root.color != BLACK:
+                root.color = BLACK
+                touched.add(root)
+
+        def shadow_insert(key: int, touched: Set[_Node]):
+            """Returns (node, path, is_new); path = search path for reads."""
+            path = []
+            parent = None
+            cur = state["root"]
+            while cur is not None:
+                path.append(cur)
+                if key == cur.key:
+                    return cur, path, False
+                parent = cur
+                cur = cur.left if key < cur.key else cur.right
+            node = _Node(key, self.alloc_node(machine, 8))
+            node.parent = parent
+            if parent is None:
+                state["root"] = node
+            elif key < parent.key:
+                parent.left = node
+            else:
+                parent.right = node
+            if parent:
+                touched.add(parent)
+            touched.add(node)
+            old_root = state["root"]
+            fixup(node, touched)
+            shadow[key] = node
+            return node, path, True
+
+        # bootstrap
+        for key in rng.sample(range(1, 1 << 30), params.setup_items):
+            touched: Set[_Node] = set()
+            node, _path, is_new = shadow_insert(key, touched)
+            for n in touched:
+                machine.bootstrap_write(n.addr, n.header_words())
+            machine.bootstrap_write(
+                node.addr + CACHE_LINE_BYTES,
+                self.payload_words(self.derive_value(params.seed, key, 0)),
+            )
+            machine.bootstrap_write(root_cell, [state["root"].addr])
+
+        def worker(env, thread_index: int):
+            trng = random.Random(params.seed * 61 + thread_index)
+            for op in range(params.ops_per_thread):
+                yield Lock(lock)
+                yield Begin()
+                if trng.random() >= params.update_fraction or not shadow:
+                    key = trng.randrange(1, 1 << 30)
+                    old_root_addr = state["root"].addr if state["root"] else 0
+                    touched = set()
+                    node, path, is_new = shadow_insert(key, touched)
+                    for p in path:
+                        yield Read(p.addr, 5)
+                    value = self.derive_value(params.seed, key, op)
+                    yield Write(node.addr + CACHE_LINE_BYTES, self.payload_words(value))
+                    for n in sorted(touched, key=lambda n: n.addr):
+                        yield Write(n.addr, n.header_words())
+                    if state["root"].addr != old_root_addr:
+                        yield Write(root_cell, [state["root"].addr])
+                else:
+                    key = trng.choice(list(shadow))
+                    node = shadow[key]
+                    (k,) = yield Read(node.addr, 1)
+                    assert k == key
+                    value = self.derive_value(params.seed, key, op + 17)
+                    yield Write(node.addr + CACHE_LINE_BYTES, self.payload_words(value))
+                yield End()
+                yield Unlock(lock)
+
+        for t in range(params.num_threads):
+            machine.spawn(lambda env, t=t: worker(env, t))
+
+    # -- semantic validation ----------------------------------------------------
+
+    def validate_image(self, image):
+        """Red-black invariants straight off the image: BST ordering,
+        consistent parent pointers, black root, no red-red edges, and a
+        uniform black height."""
+        errors = []
+        root = image.read_word(self.root_cell)
+        if root == 0:
+            return errors
+        if image.read_word(root + 4 * WORD_BYTES) != BLACK:
+            errors.append("root is red")
+
+        def walk(addr, lo, hi, parent_addr):
+            """Returns the subtree's black height (or None on error)."""
+            if addr == 0:
+                return 1
+            if len(errors) > 5:
+                return 1
+            key = image.read_word(addr)
+            left = image.read_word(addr + 1 * WORD_BYTES)
+            right = image.read_word(addr + 2 * WORD_BYTES)
+            parent = image.read_word(addr + 3 * WORD_BYTES)
+            color = image.read_word(addr + 4 * WORD_BYTES)
+            if not (lo < key < hi):
+                errors.append(f"key {key} violates BST range")
+            if parent != parent_addr:
+                errors.append(f"bad parent pointer at {addr:#x}")
+            if color == RED:
+                for child in (left, right):
+                    if child and image.read_word(child + 4 * WORD_BYTES) == RED:
+                        errors.append(f"red-red edge at {addr:#x}")
+            lh = walk(left, lo, key, addr)
+            rh = walk(right, key, hi, addr)
+            if lh != rh:
+                errors.append(f"black-height mismatch at {addr:#x}")
+            return (lh or 1) + (1 if color == BLACK else 0)
+
+        import sys
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(100_000)
+        try:
+            walk(root, -1, 1 << 62, 0)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        return errors

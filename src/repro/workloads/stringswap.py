@@ -1,0 +1,91 @@
+"""SS: random swaps in an array of strings [22, 41].
+
+An array of ``setup_items`` fixed-size strings (each ``value_bytes``
+long). Each atomic region picks two random slots, reads both strings, and
+writes each into the other's slot - a pure data-movement workload whose
+write-set size scales directly with the payload size.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.machine import Machine
+from repro.sim.ops import Begin, End, Lock, Read, Unlock, Write
+from repro.workloads.base import Workload, register
+
+
+@register
+class StringSwap(Workload):
+    """The SS benchmark."""
+
+    name = "SS"
+    description = "Random swaps in an array of strings"
+
+    def install(self, machine: Machine) -> None:
+        params = self.params
+        count = max(4, params.setup_items)
+        stride = max(params.value_bytes, 64)
+        base = machine.heap.alloc(count * stride)
+        self.base, self.stride, self.count = base, stride, count
+        for i in range(count):
+            machine.bootstrap_write(
+                base + i * stride,
+                self.payload_words(self.derive_value(params.seed, i, 0)),
+            )
+        locks = [machine.new_lock(f"ss{i}") for i in range(8)]
+
+        def slot_addr(i: int) -> int:
+            return base + i * stride
+
+        def worker(env, thread_index: int):
+            trng = random.Random(params.seed * 59 + thread_index)
+            nwords = params.value_words
+            for op in range(params.ops_per_thread):
+                i = trng.randrange(count)
+                j = trng.randrange(count)
+                if i == j:
+                    j = (j + 1) % count
+                # lock-ordering discipline: lower stripe index first
+                stripes = sorted({i % 8, j % 8})
+                first = locks[stripes[0]]
+                second = locks[stripes[-1]]
+                yield Lock(first)
+                if second is not first:
+                    yield Lock(second)
+                yield Begin()
+                a = yield Read(slot_addr(i), nwords)
+                b = yield Read(slot_addr(j), nwords)
+                yield Write(slot_addr(i), b)
+                yield Write(slot_addr(j), a)
+                yield End()
+                if second is not first:
+                    yield Unlock(second)
+                yield Unlock(first)
+
+        for t in range(params.num_threads):
+            machine.spawn(lambda env, t=t: worker(env, t))
+
+    # -- semantic validation ----------------------------------------------------
+
+    def validate_image(self, image):
+        """Swap invariant: the multiset of strings is a permutation of the
+        bootstrap set (swaps move strings, never create or destroy them)."""
+        expected = sorted(
+            self.derive_value(self.params.seed, i, 0) for i in range(self.count)
+        )
+        actual = sorted(
+            image.read_word(self.base + i * self.stride) for i in range(self.count)
+        )
+        if actual != expected:
+            return ["string multiset is not a permutation of the original"]
+        # each slot's payload words must be internally consistent
+        errors = []
+        for i in range(self.count):
+            first = image.read_word(self.base + i * self.stride)
+            for w in range(1, self.params.value_words):
+                got = image.read_word(self.base + i * self.stride + 8 * w)
+                if got != (first + w) & 0x7FFF_FFFF_FFFF:
+                    errors.append(f"torn string in slot {i} at word {w}")
+                    break
+        return errors

@@ -1,0 +1,120 @@
+"""Harness integration: experiments run and produce paper-shaped results.
+
+These run on tiny workload sizes; they assert *directions* (who wins),
+never absolute values.
+"""
+
+import pytest
+
+from repro.harness.experiment import ExperimentResult, geomean
+from repro.harness.experiments import REGISTRY, area, fig1, fig7, fig8, fig9a, fig9b
+from repro.harness.cli import main
+
+FAST = ["HM", "SS"]  # quickest two workloads
+
+
+def test_geomean():
+    assert geomean([1, 4]) == pytest.approx(2.0)
+    assert geomean([]) == 0.0
+    assert geomean([2, 0, 8]) == 4.0  # zeros skipped
+
+
+def test_experiment_result_table_renders():
+    r = ExperimentResult("X", "t", columns=["a", "b"])
+    r.add_row("w1", a=1.0, b=2.0)
+    r.geomean_row()
+    text = r.to_table()
+    assert "w1" in text and "GeoMean" in text
+
+
+def test_fig1_shape():
+    result = fig1.run(quick=True, workloads=FAST)
+    gm = result.rows["GeoMean"]
+    # persist operations cost throughput; logging costs more than flushing
+    assert gm["DPO Only"] < 1.0
+    assert gm["LPO & DPO"] < gm["DPO Only"]
+
+
+def test_fig7_shape():
+    result = fig7.run(quick=True, workloads=["HM"], sizes=[64])
+    gm = result.rows["GeoMean"]
+    assert gm["ASAP"] > gm["HWUndo"] > 1.0
+    assert gm["ASAP"] > gm["HWRedo"] > 1.0
+    assert gm["NP"] >= gm["ASAP"] * 0.95
+
+
+def test_fig8_shape():
+    result = fig8.run(quick=True, workloads=["HM"], sizes=[64])
+    gm = result.rows["GeoMean"]
+    assert gm["SW"] > gm["HWUndo"] > gm["ASAP"]
+    assert gm["ASAP"] < 1.7
+
+
+def test_fig9a_monotone():
+    result = fig9a.run(quick=True, workloads=FAST)
+    gm = result.rows["GeoMean"]
+    assert gm["ASAP-No-Opt"] >= gm["ASAP+C"] >= gm["ASAP+C+LP"] >= gm["ASAP"] == pytest.approx(1.0)
+    assert gm["ASAP-No-Opt"] > 1.2
+
+
+def test_fig9b_shape():
+    result = fig9b.run(quick=True, workloads=FAST)
+    gm = result.rows["GeoMean"]
+    assert gm["SW"] > gm["HWUndo"] > 1.0
+    assert gm["SW"] > gm["HWRedo"] > 1.0
+
+
+def test_area_experiment():
+    result = area.run()
+    assert result.rows["measured"]["total %"] < 3.0
+
+
+def test_registry_complete():
+    assert set(REGISTRY) == {
+        "fig1", "fig7", "fig8", "fig9a", "fig9b", "fig10", "lhwpq", "area",
+        "ablations", "extension", "numa", "corun", "eadr",
+    }
+
+
+def test_cli_config_and_workloads(capsys):
+    assert main(["config"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out and "128 WPQ entries" in out
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "TPCC" in out
+
+
+def test_cli_runs_area(capsys):
+    assert main(["area"]) == 0
+    out = capsys.readouterr().out
+    assert "Sec. 6.2" in out
+
+
+def test_cli_rejects_unknown(capsys):
+    with pytest.raises(SystemExit):
+        main(["not-an-experiment"])
+
+
+def test_crashtest_command(capsys):
+    assert main(["crashtest", "--workloads", "SS"]) == 0
+    out = capsys.readouterr().out
+    assert "SS/asap: CONSISTENT" in out
+    assert "SS/asap_redo: CONSISTENT" in out
+
+
+def test_crashtest_api_report_fields():
+    from repro.harness.crashtest import run_crashtest
+
+    report = run_crashtest(workload="Q", scheme="asap", points=6)
+    assert report.ok
+    assert report.points_checked == 6
+    assert report.points_with_rollback > 0
+    assert "CONSISTENT" in report.summary()
+
+
+def test_summary_command(capsys):
+    assert main(["summary", "--workloads", "HM"]) == 0
+    out = capsys.readouterr().out
+    assert "headline claims" in out
+    assert "area overhead" in out

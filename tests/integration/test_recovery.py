@@ -1,0 +1,141 @@
+"""Crash-recovery integration tests: the paper's Sec. 5.5 procedure.
+
+The central invariant: after a crash at *any* cycle, recovery must produce
+a PM image identical to the commit oracle's durable image - full regions
+or nothing, in dependence order.
+"""
+
+import pytest
+
+from repro.common.params import SystemConfig
+from repro.persist import make_scheme
+from repro.recovery import crash_machine, recover, verify_recovery
+from repro.sim.machine import Machine
+from repro.sim.ops import Begin, End, Lock, Read, Unlock, Write
+from repro.workloads import WorkloadParams, get_workload, workload_names
+
+PARAMS = WorkloadParams(num_threads=3, ops_per_thread=12, value_bytes=64, setup_items=16)
+
+
+def crash_and_check(build_machine, at_cycle):
+    m = build_machine()
+    state = crash_machine(m, at_cycle=at_cycle)
+    image, report = recover(state)
+    verdict = verify_recovery(m, image)
+    assert verdict.ok, verdict.explain()
+    return m, state, report
+
+
+def workload_machine(name, params=PARAMS, **small_kwargs):
+    def build():
+        m = Machine(SystemConfig.small(**small_kwargs), make_scheme("asap"))
+        get_workload(name, params).install(m)
+        return m
+
+    return build
+
+
+@pytest.mark.parametrize("workload", workload_names())
+def test_recovery_mid_run(workload):
+    build = workload_machine(workload)
+    total = build().run().cycles
+    for frac in (0.3, 0.6, 0.9):
+        crash_and_check(build, int(total * frac))
+
+
+@pytest.mark.parametrize("workload", ["BN", "Q", "TPCC"])
+def test_recovery_dense_crash_points(workload):
+    build = workload_machine(workload)
+    total = build().run().cycles
+    for i in range(10):
+        crash_and_check(build, 100 + (i * total) // 11)
+
+
+def test_recovery_before_any_region():
+    build = workload_machine("HM")
+    m, state, report = crash_and_check(build, 5)
+    assert report.undone_count == 0
+
+
+def test_recovery_after_quiescence_undoes_nothing():
+    build = workload_machine("HM")
+    total = build().run().drain_cycles
+    m, state, report = crash_and_check(build, total + 100)
+    assert report.undone_count == 0
+
+
+def test_recovery_with_2kb_regions():
+    params = WorkloadParams(num_threads=2, ops_per_thread=6, value_bytes=2048, setup_items=8)
+    build = workload_machine("SS", params)
+    total = build().run().cycles
+    for frac in (0.4, 0.8):
+        crash_and_check(build, int(total * frac))
+
+
+def test_recovery_with_tiny_wpq_and_log():
+    """Structural pressure (1-entry WPQ, small log forcing overflow growth)
+    must not break recoverability."""
+    params = WorkloadParams(num_threads=2, ops_per_thread=10, setup_items=8)
+    build = workload_machine("Q", params, wpq_entries=1, initial_log_entries=16)
+    total = build().run().cycles
+    for frac in (0.35, 0.7):
+        crash_and_check(build, int(total * frac))
+
+
+def test_recovery_undoes_dependent_chain_in_order():
+    """Hand-built chain: R1 <- R2 <- R3 all touching one line. Crash while
+    all are uncommitted; recovery must unwind to the bootstrap value."""
+
+    def build():
+        m = Machine(SystemConfig.small(wpq_entries=1), make_scheme("asap"))
+        a = m.heap.alloc(64 * 8)
+        m.bootstrap_write(a, [1000])
+        lock = m.new_lock()
+
+        def worker(env, inc):
+            yield Lock(lock)
+            yield Begin()
+            (v,) = yield Read(a, 1)
+            yield Write(a, [v + inc])
+            # keep the WPQ saturated so nothing commits before the crash
+            for j in range(1, 6):
+                yield Write(a + 64 * j, [inc * j])
+            yield End()
+            yield Unlock(lock)
+
+        for t, inc in enumerate((1, 10, 100)):
+            m.spawn(lambda env, inc=inc: worker(env, inc))
+        m._test_addr = a
+        return m
+
+    # crash early enough that some regions are uncommitted
+    probe = build()
+    total = probe.run().cycles
+    found_partial = False
+    for frac in (0.2, 0.35, 0.5, 0.65, 0.8):
+        m = build()
+        state = crash_machine(m, at_cycle=int(total * frac))
+        image, report = recover(state)
+        verdict = verify_recovery(m, image)
+        assert verdict.ok, verdict.explain()
+        if 0 < report.undone_count:
+            found_partial = True
+    assert found_partial, "no crash point caught uncommitted regions"
+
+
+def test_recovery_report_counts():
+    build = workload_machine("BN")
+    total = build().run().cycles
+    m = build()
+    state = crash_machine(m, at_cycle=total // 2)
+    image, report = recover(state)
+    assert report.records_scanned > 0
+    assert report.undone_count == len(state.dependence_entries)
+
+
+def test_crash_state_contains_log_directory():
+    build = workload_machine("BN")
+    m = build()
+    state = crash_machine(m, at_cycle=500)
+    assert set(state.log_directory) == {0, 1, 2}
+    assert state.entries_per_record == 7

@@ -1,0 +1,107 @@
+"""Property-based tests on core data structures and their invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.address import line_base, split_words, words_of_line
+from repro.core.bloom import BloomFilter
+from repro.core.log import UndoLog
+from repro.core.rid import pack_rid, unpack_rid
+from repro.common.params import CacheParams
+from repro.mem.cache import CacheArray
+from repro.mem.image import MemoryImage
+
+BASE = 0x1000_0000_0000
+
+
+@given(st.integers(0, 2**30), st.integers(0, 2**31 - 1))
+def test_rid_roundtrip(tid, local):
+    assert unpack_rid(pack_rid(tid, local)) == (tid, local)
+
+
+@given(st.integers(0, 2**30), st.integers(0, 2**31 - 1))
+def test_rid_order_preserving_within_thread(tid, local):
+    assert pack_rid(tid, local) < pack_rid(tid, local + 1)
+
+
+@given(st.integers(0, 2**48))
+def test_line_base_idempotent_and_containing(addr):
+    base = line_base(addr)
+    assert base % 64 == 0
+    assert base <= addr < base + 64
+    assert line_base(base) == base
+
+
+@given(st.integers(0, 2**40), st.integers(1, 512))
+def test_split_words_covers_every_byte(addr, nbytes):
+    words = list(split_words(addr, nbytes))
+    assert words == sorted(set(words))
+    assert words[0] <= addr
+    assert words[-1] + 8 >= addr + nbytes
+    for a, b in zip(words, words[1:]):
+        assert b - a == 8
+
+
+@given(st.lists(st.integers(0, 2**20), min_size=1, max_size=200))
+def test_bloom_never_false_negative(keys):
+    bf = BloomFilter(512, 3)
+    lines = [k * 64 for k in keys]
+    for line in lines:
+        bf.insert(line)
+    assert all(bf.maybe_contains(line) for line in lines)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 63), st.integers(0, 2**40)), min_size=1, max_size=100
+    )
+)
+def test_image_last_write_wins(writes):
+    img = MemoryImage()
+    last = {}
+    for word_idx, value in writes:
+        addr = BASE + word_idx * 8
+        img.write_word(addr, value)
+        last[addr] = value
+    for addr, value in last.items():
+        assert img.read_word(addr) == value
+
+
+@given(st.data())
+def test_cache_occupancy_never_exceeds_capacity(data):
+    params = CacheParams(size_bytes=8 * 64 * 2, assoc=2, latency=1)
+    cache = CacheArray("c", params)
+    lines = data.draw(
+        st.lists(st.integers(0, 63).map(lambda i: i * 64), max_size=80)
+    )
+    for line in lines:
+        cache.insert(line)
+        assert cache.occupancy() <= params.assoc * params.num_sets
+    # every line in the cache was inserted at some point
+    assert set(cache.lines()) <= set(lines)
+
+
+@settings(deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["append", "free"]), st.integers(1, 6)),
+        max_size=120,
+    )
+)
+def test_log_accounting_invariants(ops):
+    log = UndoLog(0, BASE, num_records=64, entries_per_record=3)
+    live_rids = set()
+    for kind, rid in ops:
+        if kind == "append" :
+            if log.free_records > 0 or log.open_record(rid) is not None:
+                before = log.live_records
+                log.append(rid, BASE + 0x100000 + rid * 64)
+                live_rids.add(rid)
+                assert log.live_records >= before
+        else:
+            log.free(rid)
+            live_rids.discard(rid)
+        assert log.live_records + log.free_records == log.capacity_records
+        assert log.live_records >= 0
+    for rid in list(live_rids):
+        log.free(rid)
+    assert log.live_records == 0

@@ -1,0 +1,48 @@
+"""Workload-level crash fuzzing: real data structures, random crash points.
+
+Heavier than the synthetic-program fuzzers but closer to the paper's
+actual usage: hypothesis picks a Table 3 workload, parameters, a scheme
+(undo or redo ASAP), and a crash fraction; recovery must reproduce the
+oracle image and the structure validators must accept the result.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.params import SystemConfig
+from repro.persist import make_scheme
+from repro.recovery import crash_machine, recover, verify_recovery
+from repro.sim.machine import Machine
+from repro.workloads import WorkloadParams, get_workload, workload_names
+
+
+def build(workload, scheme, seed, threads):
+    params = WorkloadParams(
+        num_threads=threads, ops_per_thread=8, setup_items=12, seed=seed
+    )
+    machine = Machine(SystemConfig.small(), make_scheme(scheme))
+    wl = get_workload(workload, params)
+    wl.install(machine)
+    return machine, wl
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    workload=st.sampled_from(workload_names()),
+    scheme=st.sampled_from(["asap", "asap_redo"]),
+    seed=st.integers(0, 50),
+    threads=st.integers(1, 3),
+    crash_frac=st.floats(0.1, 0.95),
+)
+def test_workload_crash_recovery_fuzz(workload, scheme, seed, threads, crash_frac):
+    total = build(workload, scheme, seed, threads)[0].run().cycles
+    machine, wl = build(workload, scheme, seed, threads)
+    state = crash_machine(machine, at_cycle=max(1, int(total * crash_frac)))
+    image, _report = recover(state)
+    verdict = verify_recovery(machine, image)
+    assert verdict.ok, f"{workload}/{scheme}: {verdict.explain()}"
+    errors = wl.validate_image(image)
+    assert errors == [], (workload, scheme, errors)

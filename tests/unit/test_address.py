@@ -1,0 +1,54 @@
+"""Unit tests for address arithmetic and the address map."""
+
+from repro.common.address import (
+    AddressSpace,
+    line_base,
+    line_index,
+    line_offset,
+    page_base,
+    split_words,
+    words_of_line,
+)
+
+
+def test_line_base_and_offset():
+    assert line_base(0x1000) == 0x1000
+    assert line_base(0x103F) == 0x1000
+    assert line_base(0x1040) == 0x1040
+    assert line_offset(0x103F) == 0x3F
+    assert line_offset(0x1040) == 0
+
+
+def test_line_index_monotone():
+    assert line_index(0) == 0
+    assert line_index(63) == 0
+    assert line_index(64) == 1
+
+
+def test_page_base():
+    assert page_base(0x1FFF) == 0x1000
+    assert page_base(0x2000) == 0x2000
+
+
+def test_words_of_line_yields_eight():
+    words = list(words_of_line(0x1008))
+    assert len(words) == 8
+    assert words[0] == 0x1000
+    assert words[-1] == 0x1038
+
+
+def test_split_words_covers_range():
+    assert list(split_words(0x1000, 16)) == [0x1000, 0x1008]
+    # partially-overlapping range touches every overlapped word
+    assert list(split_words(0x1004, 8)) == [0x1000, 0x1008]
+    assert list(split_words(0x1000, 0)) == []
+
+
+def test_address_space_classification():
+    space = AddressSpace()
+    assert space.is_dram(0x1000)
+    assert not space.is_pm(0x1000)
+    assert space.is_pm(space.pm_base)
+    assert space.is_pm(space.pm_base + space.pm_size - 1)
+    assert not space.is_pm(space.pm_base + space.pm_size)
+    assert space.contains(space.pm_base)

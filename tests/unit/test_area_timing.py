@@ -1,0 +1,53 @@
+"""Unit tests for the area model (Sec. 6.2) and the timing model."""
+
+from repro.area import estimate_area
+from repro.common.params import SystemConfig
+from repro.mem.timing import TimingModel
+
+
+def test_area_overhead_under_three_percent():
+    report = estimate_area(SystemConfig())
+    assert 0 < report.total_overhead < 0.03  # the paper's headline "<3%"
+    assert report.core_overhead < report.uncore_overhead  # 0.8% vs 1.7%
+
+
+def test_cl_list_bytes_match_paper():
+    # "The CL List in each core has 4 entries, and its size is 49B"
+    report = estimate_area(SystemConfig())
+    per_core = report.core_structures["CL List"] / SystemConfig().num_cores
+    assert abs(per_core - 49) < 1
+
+
+def test_lh_wpq_bytes_match_paper():
+    # "The LH-WPQ has 70B/entry", 128 entries/channel, 4 channels
+    report = estimate_area(SystemConfig())
+    assert report.uncore_structures["LH-WPQ"] == 70 * 128 * 4
+
+
+def test_bloom_filter_bytes():
+    report = estimate_area(SystemConfig())
+    assert report.uncore_structures["Bloom filter"] == 1024 * 4
+
+
+def test_area_scales_with_structures():
+    small = estimate_area(SystemConfig.small())
+    big = estimate_area(SystemConfig())
+    assert small.uncore_added_bytes < big.uncore_added_bytes
+
+
+def test_timing_read_path_accumulates():
+    t = TimingModel(SystemConfig())
+    assert t.l1_latency() == 4
+    assert t.l2_latency() == 4 + 14
+    assert t.llc_latency() == 4 + 14 + 42
+    assert t.memory_read_latency(is_pm=False) == t.llc_latency() + 150
+
+
+def test_timing_pm_multiplier():
+    cfg = SystemConfig().with_pm_multiplier(4)
+    t = TimingModel(cfg)
+    base = TimingModel(SystemConfig())
+    assert t.memory_read_latency(True) > base.memory_read_latency(True)
+    assert t.pm_write_service() == 4 * base.pm_write_service()
+    # DRAM unaffected by the PM multiplier
+    assert t.memory_read_latency(False) == base.memory_read_latency(False)

@@ -1,0 +1,160 @@
+"""Unit tests for the executor (op dispatch, splitting, accounting) and
+the commit oracle."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.params import SystemConfig
+from repro.core.rid import pack_rid
+from repro.mem.image import MemoryImage
+from repro.persist import make_scheme
+from repro.sim.executor import _split_by_line, _split_read_by_line
+from repro.sim.machine import Machine
+from repro.sim.ops import Begin, Compute, End, Fence, Lock, Read, Unlock, Write
+from repro.sim.oracle import CommitOracle
+
+
+def test_split_by_line_within_one_line():
+    chunks = _split_by_line(0x1000, [1, 2, 3])
+    assert chunks == [(0x1000, [1, 2, 3])]
+
+
+def test_split_by_line_across_lines():
+    chunks = _split_by_line(0x1000 + 48, [1, 2, 3, 4])
+    assert chunks[0] == (0x1030, [1, 2])
+    assert chunks[1] == (0x1040, [3, 4])
+
+
+def test_split_read_by_line():
+    chunks = _split_read_by_line(0x1030, 4)
+    assert chunks == [(0x1030, 2), (0x1040, 2)]
+
+
+def make_machine(scheme="np"):
+    return Machine(SystemConfig.small(), make_scheme(scheme))
+
+
+def test_compute_advances_clock():
+    m = make_machine()
+
+    def worker(env):
+        yield Compute(500)
+
+    m.spawn(worker)
+    res = m.run()
+    assert res.cycles >= 500
+
+
+def test_read_returns_written_values_across_lines():
+    m = make_machine()
+    a = m.heap.alloc(256)
+    seen = {}
+
+    def worker(env):
+        yield Write(a + 56, [11, 22])  # spans two lines
+        seen["vals"] = (yield Read(a + 56, 2))
+
+    m.spawn(worker)
+    m.run()
+    assert seen["vals"] == [11, 22]
+
+
+def test_region_accounting():
+    m = make_machine()
+    a = m.heap.alloc(64)
+
+    def worker(env):
+        for _ in range(3):
+            yield Begin()
+            yield Write(a, [1])
+            yield End()
+
+    m.spawn(worker)
+    res = m.run()
+    assert res.regions_completed == 3
+    assert res.cycles_per_region > 0
+
+
+def test_nested_regions_count_once():
+    m = make_machine()
+    a = m.heap.alloc(64)
+
+    def worker(env):
+        yield Begin()
+        yield Begin()
+        yield Write(a, [1])
+        yield End()
+        yield End()
+
+    m.spawn(worker)
+    res = m.run()
+    assert res.regions_completed == 1
+
+
+def test_end_without_begin_raises():
+    m = make_machine()
+
+    def worker(env):
+        yield End()
+
+    m.spawn(worker)
+    with pytest.raises(SimulationError):
+        m.run()
+
+
+def test_fence_is_dispatchable_on_all_schemes():
+    for scheme in ("np", "sw", "hwundo", "hwredo", "asap"):
+        m = make_machine(scheme)
+        a = m.heap.alloc(64)
+
+        def worker(env, a=a):
+            yield Begin()
+            yield Write(a, [1])
+            yield End()
+            yield Fence()
+
+        m.spawn(worker)
+        res = m.run()
+        assert res.regions_completed == 1, scheme
+
+
+def test_oracle_tracks_commit_order():
+    oracle = CommitOracle()
+    r1, r2 = pack_rid(0, 1), pack_rid(0, 2)
+    oracle.record_write(r1, 0x1000, [10])
+    oracle.record_write(r2, 0x1000, [20])
+    oracle.on_commit(r1)
+    assert oracle.committed.read_word(0x1000) == 10
+    assert oracle.uncommitted_rids() == [r2]
+    oracle.on_commit(r2)
+    assert oracle.committed.read_word(0x1000) == 20
+
+
+def test_oracle_mismatches():
+    oracle = CommitOracle()
+    r = pack_rid(0, 1)
+    oracle.record_write(r, 0x1000, [5])
+    oracle.on_commit(r)
+    img = MemoryImage()
+    diffs = oracle.mismatches(img)
+    assert diffs == [(0x1000, 5, 0)]
+    img.write_word(0x1000, 5)
+    assert oracle.mismatches(img) == []
+
+
+def test_deadlock_detection():
+    m = make_machine()
+    lock = m.new_lock()
+
+    def worker(env):
+        yield Lock(lock)
+        yield Lock(m.new_lock())  # fine
+        # never released; second thread will block forever
+
+    def worker2(env):
+        yield Lock(lock)
+
+    m.spawn(worker)
+    m.spawn(worker2)
+    with pytest.raises(SimulationError, match="deadlock"):
+        m.run()

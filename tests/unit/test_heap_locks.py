@@ -1,0 +1,90 @@
+"""Unit tests for the heaps, page table, and simulated locks."""
+
+import pytest
+
+from repro.common.address import AddressSpace
+from repro.common.errors import SimulationError
+from repro.engine import Scheduler
+from repro.runtime.heap import PageTable, PersistentHeap, VolatileHeap
+from repro.runtime.locks import SimLock
+
+
+def test_persistent_alloc_marks_pages():
+    pt = PageTable()
+    heap = PersistentHeap(AddressSpace(), pt)
+    addr = heap.alloc(100)
+    assert pt.is_persistent(addr)
+    assert pt.is_persistent(addr + 99)
+    assert not pt.is_persistent(0x1000)
+
+
+def test_alloc_line_aligned_by_default():
+    heap = PersistentHeap(AddressSpace(), PageTable())
+    for size in (1, 63, 64, 65, 200):
+        assert heap.alloc(size) % 64 == 0
+
+
+def test_allocations_never_share_lines():
+    heap = PersistentHeap(AddressSpace(), PageTable())
+    a = heap.alloc(8)
+    b = heap.alloc(8)
+    assert (a // 64) != (b // 64)
+
+
+def test_free_and_reuse():
+    heap = VolatileHeap(AddressSpace())
+    a = heap.alloc(64)
+    heap.free(a)
+    b = heap.alloc(64)
+    assert b == a  # size-class free list reuses
+
+
+def test_double_free_rejected():
+    heap = VolatileHeap(AddressSpace())
+    a = heap.alloc(64)
+    heap.free(a)
+    with pytest.raises(SimulationError):
+        heap.free(a)
+
+
+def test_volatile_heap_never_returns_zero():
+    heap = VolatileHeap(AddressSpace())
+    assert heap.alloc(8) != 0
+
+
+def test_lock_uncontended_acquire_release():
+    s = Scheduler()
+    lock = SimLock(s, "l")
+    order = []
+    s.at(0, lambda: lock.acquire(1, lambda: order.append("got")))
+    s.run()
+    assert order == ["got"]
+    assert lock.holder == 1
+    s.at(s.now, lambda: lock.release(1, lambda: order.append("rel")))
+    s.run()
+    assert lock.holder is None
+
+
+def test_lock_fifo_handoff():
+    s = Scheduler()
+    lock = SimLock(s)
+    order = []
+    s.at(0, lambda: lock.acquire(1, lambda: order.append(1)))
+    s.at(1, lambda: lock.acquire(2, lambda: order.append(2)))
+    s.at(2, lambda: lock.acquire(3, lambda: order.append(3)))
+    s.at(100, lambda: lock.release(1, lambda: None))
+    s.run()
+    assert order == [1, 2]
+    assert lock.holder == 2
+    assert lock.contended_acquisitions == 2
+
+
+def test_lock_reacquire_and_bad_release_rejected():
+    s = Scheduler()
+    lock = SimLock(s)
+    s.at(0, lambda: lock.acquire(1, lambda: None))
+    s.run()
+    with pytest.raises(SimulationError):
+        lock.acquire(1, lambda: None)
+    with pytest.raises(SimulationError):
+        lock.release(2, lambda: None)

@@ -1,0 +1,119 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.engine import Scheduler
+
+
+def test_events_run_in_time_order():
+    s = Scheduler()
+    seen = []
+    s.at(30, lambda: seen.append(30))
+    s.at(10, lambda: seen.append(10))
+    s.at(20, lambda: seen.append(20))
+    s.run()
+    assert seen == [10, 20, 30]
+    assert s.now == 30
+
+
+def test_same_cycle_events_run_fifo():
+    s = Scheduler()
+    seen = []
+    for i in range(5):
+        s.at(7, lambda i=i: seen.append(i))
+    s.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_after_is_relative_to_now():
+    s = Scheduler()
+    times = []
+
+    def first():
+        s.after(5, lambda: times.append(s.now))
+
+    s.at(10, first)
+    s.run()
+    assert times == [15]
+
+
+def test_cannot_schedule_in_the_past():
+    s = Scheduler()
+    s.at(5, lambda: None)
+    s.run()
+    with pytest.raises(SimulationError):
+        s.at(3, lambda: None)
+
+
+def test_negative_delay_rejected():
+    s = Scheduler()
+    with pytest.raises(SimulationError):
+        s.after(-1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    s = Scheduler()
+    seen = []
+    ev = s.at(10, lambda: seen.append("cancelled"))
+    s.at(10, lambda: seen.append("kept"))
+    ev.cancel()
+    s.run()
+    assert seen == ["kept"]
+
+
+def test_run_until_stops_before_later_events():
+    s = Scheduler()
+    seen = []
+    s.at(10, lambda: seen.append(10))
+    s.at(20, lambda: seen.append(20))
+    executed = s.run(until=15)
+    assert seen == [10]
+    assert executed == 1
+    # clock advances to the until bound when idle
+    assert s.now == 15
+    s.run()
+    assert seen == [10, 20]
+
+
+def test_events_scheduled_during_run_execute():
+    s = Scheduler()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 4:
+            s.after(1, lambda: chain(n + 1))
+
+    s.at(0, lambda: chain(0))
+    s.run()
+    assert seen == [0, 1, 2, 3, 4]
+    assert s.now == 4
+
+
+def test_max_events_guard():
+    s = Scheduler()
+
+    def forever():
+        s.after(1, forever)
+
+    s.at(0, forever)
+    with pytest.raises(SimulationError):
+        s.run(max_events=100)
+
+
+def test_peek_time_skips_cancelled():
+    s = Scheduler()
+    ev = s.at(5, lambda: None)
+    s.at(9, lambda: None)
+    ev.cancel()
+    assert s.peek_time() == 9
+
+
+def test_len_counts_live_events():
+    s = Scheduler()
+    ev = s.at(5, lambda: None)
+    s.at(6, lambda: None)
+    assert len(s) == 2
+    ev.cancel()
+    assert len(s) == 1

@@ -1,0 +1,95 @@
+"""Unit tests for the tag store, op dataclasses, and error types."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigError,
+    DeadlockError,
+    LogOverflowError,
+    RecoveryError,
+    ReproError,
+    SimulationError,
+)
+from repro.mem.tagstore import LineMeta, TagStore
+from repro.sim import ops
+
+
+# -- tag store ---------------------------------------------------------------
+
+
+def test_ensure_creates_once():
+    tags = TagStore()
+    a = tags.ensure(0x1000, pbit=True)
+    b = tags.ensure(0x1000, pbit=False)  # second call ignores pbit arg
+    assert a is b
+    assert a.pbit is True
+    assert len(tags) == 1
+
+
+def test_drop_returns_meta():
+    tags = TagStore()
+    tags.ensure(0x1000, True)
+    meta = tags.drop(0x1000)
+    assert meta is not None and meta.line == 0x1000
+    assert tags.drop(0x1000) is None
+    assert tags.get(0x1000) is None
+
+
+def test_lock_bit_is_counted():
+    meta = LineMeta(line=0x1000)
+    assert not meta.lock_bit
+    meta.lock_count += 1
+    meta.lock_count += 1
+    assert meta.lock_bit
+    meta.lock_count -= 1
+    assert meta.lock_bit  # still one LPO outstanding
+    meta.lock_count -= 1
+    assert not meta.lock_bit
+
+
+def test_locked_and_owned_iterators():
+    tags = TagStore()
+    a = tags.ensure(0x1000, True)
+    b = tags.ensure(0x2000, True)
+    a.lock_count = 1
+    b.owner_rid = 7
+    assert [m.line for m in tags.locked_lines()] == [0x1000]
+    assert [m.line for m in tags.owned_by(7)] == [0x2000]
+
+
+# -- error hierarchy ------------------------------------------------------------
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc in (ConfigError, SimulationError, RecoveryError, LogOverflowError):
+        assert issubclass(exc, ReproError)
+    assert issubclass(DeadlockError, SimulationError)
+
+
+def test_log_overflow_carries_context():
+    err = LogOverflowError(thread_id=3, capacity_entries=128)
+    assert err.thread_id == 3
+    assert err.capacity_entries == 128
+    assert "thread 3" in str(err)
+
+
+# -- op dataclasses ------------------------------------------------------------------
+
+
+def test_ops_are_frozen():
+    op = ops.Read(0x1000, 2)
+    with pytest.raises(Exception):
+        op.addr = 5
+
+
+def test_write_holds_values():
+    op = ops.Write(0x1000, [1, 2, 3])
+    assert list(op.values) == [1, 2, 3]
+
+
+def test_read_default_single_word():
+    assert ops.Read(0x1000).nwords == 1
+
+
+def test_migrate_target():
+    assert ops.Migrate(3).core_id == 3

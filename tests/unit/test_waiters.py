@@ -1,0 +1,60 @@
+"""Unit tests for WaitQueue and Signal."""
+
+from repro.engine import Scheduler, Signal, WaitQueue
+
+
+def test_wait_queue_fifo_wake_order():
+    s = Scheduler()
+    q = WaitQueue(s)
+    seen = []
+    q.park(lambda: seen.append("a"))
+    q.park(lambda: seen.append("b"))
+    q.park(lambda: seen.append("c"))
+    assert len(q) == 3
+    q.wake_one()
+    s.run()
+    assert seen == ["a"]
+    q.wake_all()
+    s.run()
+    assert seen == ["a", "b", "c"]
+    assert len(q) == 0
+
+
+def test_wake_one_on_empty_returns_false():
+    s = Scheduler()
+    q = WaitQueue(s)
+    assert q.wake_one() is False
+    assert q.wake_all() == 0
+
+
+def test_signal_releases_current_waiters():
+    s = Scheduler()
+    sig = Signal(s)
+    seen = []
+    sig.wait(lambda: seen.append(1))
+    sig.wait(lambda: seen.append(2))
+    assert not seen
+    sig.fire()
+    s.run()
+    assert sorted(seen) == [1, 2]
+
+
+def test_signal_releases_future_waiters_immediately():
+    s = Scheduler()
+    sig = Signal(s)
+    sig.fire()
+    seen = []
+    sig.wait(lambda: seen.append("late"))
+    s.run()
+    assert seen == ["late"]
+
+
+def test_signal_fire_is_idempotent():
+    s = Scheduler()
+    sig = Signal(s)
+    seen = []
+    sig.wait(lambda: seen.append(1))
+    sig.fire()
+    sig.fire()
+    s.run()
+    assert seen == [1]

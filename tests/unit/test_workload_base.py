@@ -1,0 +1,95 @@
+"""Unit tests for the workload framework and experiment containers."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.harness.experiment import ExperimentResult, geomean
+from repro.workloads import WorkloadParams, get_workload, workload_names
+from repro.workloads.base import Workload
+
+
+def test_params_validation():
+    with pytest.raises(ConfigError):
+        WorkloadParams(num_threads=0)
+    with pytest.raises(ConfigError):
+        WorkloadParams(value_bytes=0)
+    with pytest.raises(ConfigError):
+        WorkloadParams(value_bytes=12)  # not a multiple of 8
+
+
+def test_value_words():
+    assert WorkloadParams(value_bytes=64).value_words == 8
+    assert WorkloadParams(value_bytes=2048).value_words == 256
+
+
+def test_derive_value_deterministic_and_distinct():
+    v1 = Workload.derive_value(1, 100, 5)
+    assert v1 == Workload.derive_value(1, 100, 5)
+    assert v1 != Workload.derive_value(1, 100, 6)
+    assert v1 != Workload.derive_value(2, 100, 5)
+    assert v1 != Workload.derive_value(1, 101, 5)
+
+
+def test_payload_words_length_and_content():
+    wl = get_workload("SS", WorkloadParams(value_bytes=128))
+    words = wl.payload_words(1000)
+    assert len(words) == 16
+    assert words[0] == 1000
+    assert words[15] == 1015
+
+
+def test_workload_names_paper_order():
+    assert workload_names()[:3] == ["BN", "BT", "CT"]
+    assert len(workload_names()) == 9
+
+
+def test_get_workload_unknown():
+    with pytest.raises(ConfigError):
+        get_workload("ZZ")
+
+
+def test_default_validate_image_is_empty():
+    class Blank(Workload):
+        name = "_blank"
+
+        def install(self, machine):
+            pass
+
+    assert Blank(WorkloadParams()).validate_image(None) == []
+
+
+# -- experiment containers ------------------------------------------------------
+
+
+def test_experiment_geomean_row():
+    r = ExperimentResult("X", "t", columns=["a"])
+    r.add_row("w1", a=2.0)
+    r.add_row("w2", a=8.0)
+    gm = r.geomean_row()
+    assert gm["a"] == pytest.approx(4.0)
+    assert "GeoMean" in r.rows
+
+
+def test_experiment_to_dict_roundtrips_to_json():
+    import json
+
+    r = ExperimentResult("X", "t", columns=["a"], paper={"row": {"a": 1.5}})
+    r.add_row("w", a=2.0)
+    blob = json.dumps(r.to_dict())
+    parsed = json.loads(blob)
+    assert parsed["rows"]["w"]["a"] == 2.0
+    assert parsed["paper"]["row"]["a"] == 1.5
+
+
+def test_experiment_to_csv_shape():
+    r = ExperimentResult("X", "t", columns=["a", "b"])
+    r.add_row("w", a=1.0, b=2.0)
+    lines = r.to_csv().strip().splitlines()
+    assert lines[0] == "label,a,b"
+    assert lines[1] == "w,1,2"
+
+
+def test_geomean_edge_cases():
+    assert geomean([]) == 0.0
+    assert geomean([0.0, 0.0]) == 0.0
+    assert geomean([5.0]) == pytest.approx(5.0)

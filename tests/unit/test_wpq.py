@@ -1,0 +1,137 @@
+"""Unit tests for the Write Pending Queue."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.engine import Scheduler
+from repro.mem.image import MemoryImage
+from repro.mem.wpq import DPO, LPO, PersistOp, WritePendingQueue
+
+PM = 0x1000_0000_0000
+
+
+def make_wpq(capacity=4, service=10, watermark=0, lazy=1):
+    s = Scheduler()
+    img = MemoryImage("pm")
+    q = WritePendingQueue(
+        "q", s, capacity, lambda: service, img,
+        drain_watermark=watermark, lazy_drain_multiplier=lazy,
+    )
+    return s, img, q
+
+
+def op(line=PM, kind=DPO, payload=None, **kw):
+    return PersistOp(kind=kind, target_line=line, data_line=line,
+                     payload=payload or {line: 1}, **kw)
+
+
+def test_accept_fires_on_complete_immediately():
+    s, img, q = make_wpq()
+    done = []
+    s.at(0, lambda: q.submit(op(on_complete=lambda o: done.append(s.now))))
+    s.run()
+    assert done == [0]
+
+
+def test_drain_applies_payload_to_pm():
+    s, img, q = make_wpq(service=10)
+    s.at(0, lambda: q.submit(op(payload={PM: 42})))
+    s.run()
+    assert img.read_word(PM) == 42
+    assert q.drained == 1
+
+
+def test_drain_rate_is_serialized():
+    s, img, q = make_wpq(service=10)
+    times = []
+    for i in range(3):
+        s.at(0, lambda i=i: q.submit(op(line=PM + 64 * i, on_drain=lambda o: times.append(s.now))))
+    s.run()
+    assert times == [10, 20, 30]
+
+
+def test_backpressure_blocks_accept_until_drain():
+    s, img, q = make_wpq(capacity=2, service=10)
+    accepted = []
+    for i in range(3):
+        s.at(0, lambda i=i: q.submit(op(line=PM + 64 * i, on_complete=lambda o, i=i: accepted.append((i, s.now)))))
+    s.run()
+    assert accepted[0] == (0, 0)
+    assert accepted[1] == (1, 0)
+    assert accepted[2][1] == 10  # waited for the first drain
+
+
+def test_full_flag_and_peak_occupancy():
+    s, img, q = make_wpq(capacity=2, service=10)
+    s.at(0, lambda: q.submit(op(line=PM)))
+    s.at(0, lambda: q.submit(op(line=PM + 64)))
+    s.run(until=1)
+    assert q.peak_occupancy == 2
+
+
+def test_drop_where_removes_and_counts():
+    s, img, q = make_wpq(capacity=8, service=1000)
+    s.at(0, lambda: q.submit(op(line=PM, kind=LPO, rid=7)))
+    s.at(0, lambda: q.submit(op(line=PM + 64, kind=DPO, rid=8)))
+    s.run(until=5)
+    dropped = q.drop_where(lambda o: o.rid == 7)
+    assert dropped == 1
+    assert q.dropped == 1
+    assert len(q) == 1
+    # dropped entries never reach PM
+    s.run()
+    assert img.read_word(PM) == 0
+    assert img.read_word(PM + 64) == 1
+
+
+def test_drop_fires_on_drain_callback():
+    s, img, q = make_wpq(capacity=8, service=1000)
+    seen = []
+    s.at(0, lambda: q.submit(op(kind=DPO, rid=1, on_drain=lambda o: seen.append("drained"))))
+    s.run(until=2)
+    q.drop_where(lambda o: o.rid == 1)
+    assert seen == ["drained"]
+
+
+def test_flush_to_pm_applies_everything_in_order():
+    s, img, q = make_wpq(capacity=8, service=100000)
+    s.at(0, lambda: q.submit(op(payload={PM: 1})))
+    s.at(0, lambda: q.submit(op(payload={PM: 2})))
+    s.run(until=5)
+    flushed = q.flush_to_pm()
+    assert flushed == 2
+    assert img.read_word(PM) == 2  # FIFO order: the later write wins
+    assert len(q) == 0
+
+
+def test_lazy_drain_below_watermark():
+    s, img, q = make_wpq(capacity=8, service=10, watermark=4, lazy=10)
+    drained = []
+    s.at(0, lambda: q.submit(op()))
+    # no flush waiter, occupancy 1 < watermark 4 -> lazy interval 100
+    s.run()
+    assert q.drained == 1
+    assert s.now == 100
+
+
+def test_flush_waiter_expedites_lazy_drain():
+    s, img, q = make_wpq(capacity=8, service=10, watermark=4, lazy=10)
+    times = []
+    s.at(0, lambda: q.submit(op(on_drain=lambda o: times.append(s.now))))
+    s.run()
+    assert times == [10]  # full-rate because someone waits
+
+
+def test_callable_payload_materialised_at_drain():
+    s, img, q = make_wpq(service=10)
+    box = {"v": 1}
+    s.at(0, lambda: q.submit(op(payload=lambda: {PM: box["v"]})))
+    s.at(5, lambda: box.update(v=99))
+    s.run()
+    assert img.read_word(PM) == 99
+
+
+def test_zero_capacity_rejected():
+    s = Scheduler()
+    with pytest.raises(SimulationError):
+        WritePendingQueue("q", s, 0, lambda: 1, MemoryImage())

