@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench figures examples clean
+.PHONY: install test test-fast lint bench figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -12,6 +12,21 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/unit tests/schemes -q
+
+# Style + type gate, then the repo's own workload linter (ruff and mypy
+# are optional-dependency extras; skip gracefully where not installed).
+lint:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check src/repro/analysis tests/analysis; \
+	else \
+		echo "ruff not installed (pip install -e .[lint]); skipping style check"; \
+	fi
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy src/repro/analysis; \
+	else \
+		echo "mypy not installed (pip install -e .[lint]); skipping type check"; \
+	fi
+	PYTHONPATH=src $(PYTHON) -m repro.analysis lint --json lint-report.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

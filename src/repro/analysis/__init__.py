@@ -1,0 +1,69 @@
+"""Persistency-correctness analysis for the ASAP reproduction.
+
+Two cooperating passes over the same rule namespace:
+
+* the **static workload linter** (:mod:`repro.analysis.linter`) walks a
+  workload's op streams functionally - no timing, no caches - and flags
+  persistency anti-patterns (``ASAP-L...`` rules),
+* the **runtime invariant sanitizer** (:mod:`repro.analysis.sanitizer`)
+  observes a live simulated machine through the
+  :class:`~repro.common.SimObserver` hook points and checks the WAL
+  contract event by event (``ASAP-S...`` rules).
+
+Command-line front end::
+
+    python -m repro.analysis lint            # lint every bundled workload
+    python -m repro.analysis sanitize -w Q   # timed run with the sanitizer
+    python -m repro.analysis rules           # print the rule catalog
+
+Rule IDs, severities, and paper references live in
+:mod:`repro.analysis.rules` and are documented in ``docs/ANALYSIS.md``.
+"""
+
+from repro.analysis.rules import (
+    ALL_RULES,
+    LINT_RULES,
+    SANITIZER_RULES,
+    Rule,
+    Violation,
+    all_rules,
+    get_rule,
+)
+from repro.analysis.linter import (
+    LintMachine,
+    LintResult,
+    WorkloadLinter,
+    lint_all_workloads,
+    lint_machine,
+    lint_threads,
+    lint_workload,
+)
+from repro.analysis.sanitizer import Sanitizer
+from repro.analysis.report import (
+    lint_report,
+    render_text,
+    sanitize_report,
+    write_json,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "LINT_RULES",
+    "SANITIZER_RULES",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "LintMachine",
+    "LintResult",
+    "WorkloadLinter",
+    "lint_all_workloads",
+    "lint_machine",
+    "lint_threads",
+    "lint_workload",
+    "Sanitizer",
+    "lint_report",
+    "render_text",
+    "sanitize_report",
+    "write_json",
+]

@@ -1,0 +1,143 @@
+"""``python -m repro.analysis``: the correctness-analysis front end.
+
+Subcommands::
+
+    lint [WORKLOAD ...]      statically lint workload op streams
+    sanitize [-w WL ...]     run workloads under the runtime sanitizer
+    rules                    print the rule catalog
+
+``lint`` and ``sanitize`` exit 0 when no error-severity violation was
+found (``--strict`` also fails on warnings) and can emit the JSON report
+with ``--json FILE``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.linter import lint_workload
+from repro.analysis.report import (
+    lint_report,
+    render_text,
+    sanitize_report,
+    write_json,
+)
+from repro.analysis.rules import all_rules
+from repro.analysis.sanitizer import Sanitizer
+from repro.common.errors import ReproError
+from repro.workloads import WorkloadParams, workload_names
+
+
+def _lint_params(args) -> WorkloadParams:
+    return WorkloadParams(
+        num_threads=args.threads,
+        ops_per_thread=args.ops,
+        value_bytes=args.value_bytes,
+        setup_items=args.setup_items,
+    )
+
+
+def _cmd_lint(args) -> int:
+    names = args.workloads or workload_names()
+    params = _lint_params(args)
+    results = {name: lint_workload(name, params) for name in names}
+    report = lint_report(results)
+    print(render_text(report))
+    if args.json:
+        write_json(args.json, report)
+        print(f"wrote {args.json}")
+    failed = not report["summary"]["ok"] or (
+        args.strict and report["summary"]["warnings"] > 0
+    )
+    return 1 if failed else 0
+
+
+def _cmd_sanitize(args) -> int:
+    from repro.harness.runner import default_config, default_params, run_once
+
+    names = args.workloads or ["Q", "HM", "BN"]
+    runs = []
+    for name in names:
+        sanitizer = Sanitizer(raise_on_violation=False)
+        result = run_once(
+            name,
+            args.scheme,
+            config=default_config(quick=not args.full),
+            params=default_params(quick=not args.full),
+            sanitize=sanitizer,
+        )
+        runs.append(
+            {
+                "source": name,
+                "workload": name,
+                "scheme": args.scheme,
+                "cycles": result.cycles,
+                "events_checked": sanitizer.events_checked,
+                "violations": list(sanitizer.violations),
+            }
+        )
+    report = sanitize_report(runs)
+    print(render_text(report))
+    if args.json:
+        write_json(args.json, report)
+        print(f"wrote {args.json}")
+    failed = not report["summary"]["ok"] or (
+        args.strict and report["summary"]["warnings"] > 0
+    )
+    return 1 if failed else 0
+
+
+def _cmd_rules(args) -> int:
+    for rule in all_rules():
+        print(f"{rule.id}  {rule.name} [{rule.severity}]")
+        print(f"    {rule.summary}")
+        print(f"    ref: {rule.paper_ref}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Persistency-correctness analysis for the ASAP reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="statically lint workload op streams")
+    lint.add_argument("workloads", nargs="*", help="Table 3 names (default: all)")
+    lint.add_argument("--threads", type=int, default=2)
+    lint.add_argument("--ops", type=int, default=24, help="ops per thread")
+    lint.add_argument("--value-bytes", type=int, default=64)
+    lint.add_argument("--setup-items", type=int, default=24)
+    lint.add_argument("--json", metavar="FILE", help="write the JSON report here")
+    lint.add_argument("--strict", action="store_true", help="fail on warnings too")
+    lint.set_defaults(fn=_cmd_lint)
+
+    sanitize = sub.add_parser(
+        "sanitize", help="run workloads with the runtime invariant sanitizer"
+    )
+    sanitize.add_argument(
+        "-w", "--workloads", nargs="*", default=None, help="Table 3 names"
+    )
+    from repro.persist import scheme_names
+
+    sanitize.add_argument("--scheme", default="asap", choices=scheme_names())
+    sanitize.add_argument("--full", action="store_true", help="full-size machine")
+    sanitize.add_argument("--json", metavar="FILE")
+    sanitize.add_argument("--strict", action="store_true")
+    sanitize.set_defaults(fn=_cmd_sanitize)
+
+    rules = sub.add_parser("rules", help="print the rule catalog")
+    rules.set_defaults(fn=_cmd_rules)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

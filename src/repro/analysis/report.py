@@ -1,0 +1,113 @@
+"""Machine-readable JSON reports for the analysis passes.
+
+One report schema covers both tools::
+
+    {
+      "tool": "repro.analysis",
+      "pass": "lint" | "sanitize",
+      "rules": [ {id, name, severity, summary, paper_ref}, ... ],
+      "targets": [ per-target result dicts ],
+      "summary": {"targets": N, "errors": N, "warnings": N, "ok": bool}
+    }
+
+The ``make lint`` target and the CI workflow consume ``summary.ok``;
+humans read the per-target violation lists.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping
+
+from repro.analysis.rules import LINT_RULES, SANITIZER_RULES, Violation
+
+
+def _summarise(violations: List[dict]) -> Dict[str, int]:
+    errors = sum(1 for v in violations if v.get("severity") == "error")
+    warnings = sum(1 for v in violations if v.get("severity") == "warning")
+    return {"errors": errors, "warnings": warnings}
+
+
+def lint_report(results: Mapping[str, object]) -> dict:
+    """Build the report dict for a set of lint results (name -> LintResult)."""
+    targets = [results[name].to_dict() for name in sorted(results)]
+    all_violations = [v for t in targets for v in t["violations"]]
+    counts = _summarise(all_violations)
+    return {
+        "tool": "repro.analysis",
+        "pass": "lint",
+        "rules": [rule.to_dict() for _, rule in sorted(LINT_RULES.items())],
+        "targets": targets,
+        "summary": {
+            "targets": len(targets),
+            "ops_checked": sum(t["ops_checked"] for t in targets),
+            **counts,
+            "ok": counts["errors"] == 0,
+        },
+    }
+
+
+def sanitize_report(runs: List[dict]) -> dict:
+    """Build the report dict for sanitized runs.
+
+    Each entry of ``runs`` is ``{"workload", "scheme", "cycles",
+    "violations": [Violation, ...], "events_checked"}``.
+    """
+    targets = []
+    for run in runs:
+        violations = [
+            v.to_dict() if isinstance(v, Violation) else v
+            for v in run.get("violations", [])
+        ]
+        targets.append({**run, "violations": violations})
+    all_violations = [v for t in targets for v in t["violations"]]
+    counts = _summarise(all_violations)
+    return {
+        "tool": "repro.analysis",
+        "pass": "sanitize",
+        "rules": [rule.to_dict() for _, rule in sorted(SANITIZER_RULES.items())],
+        "targets": targets,
+        "summary": {
+            "targets": len(targets),
+            "events_checked": sum(t.get("events_checked", 0) for t in targets),
+            **counts,
+            "ok": counts["errors"] == 0,
+        },
+    }
+
+
+def write_json(path: str, report: dict) -> None:
+    """Write ``report`` to ``path`` as indented JSON."""
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def render_text(report: dict) -> str:
+    """A terse human rendering of a report (used by the CLI)."""
+    lines = [f"{report['pass']}: {report['summary']['targets']} target(s)"]
+    for target in report["targets"]:
+        name = target.get("source") or target.get("workload", "?")
+        violations = target["violations"]
+        if not violations:
+            lines.append(f"  {name}: clean")
+            continue
+        lines.append(f"  {name}: {len(violations)} finding(s)")
+        for v in violations:
+            where = []
+            if "thread_id" in v:
+                where.append(f"t{v['thread_id']}")
+            if "op_index" in v:
+                where.append(f"op {v['op_index']}")
+            if "cycle" in v and v["cycle"] is not None:
+                where.append(f"cycle {v['cycle']}")
+            loc = f" ({', '.join(where)})" if where else ""
+            lines.append(
+                f"    {v['rule_id']} [{v['severity']}]{loc}: {v['message']}"
+            )
+    s = report["summary"]
+    lines.append(
+        f"summary: {s['errors']} error(s), {s['warnings']} warning(s) -> "
+        f"{'OK' if s['ok'] else 'FAIL'}"
+    )
+    return "\n".join(lines)

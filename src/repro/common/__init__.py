@@ -6,11 +6,14 @@ subpackage. Keep it small and stable.
 
 from repro.common.errors import (
     ReproError,
+    AnalysisError,
     ConfigError,
     LogOverflowError,
+    SanitizerError,
     SimulationError,
     RecoveryError,
 )
+from repro.common.observe import SimObserver
 from repro.common.units import (
     CACHE_LINE_BYTES,
     WORD_BYTES,
@@ -39,10 +42,13 @@ from repro.common.params import (
 
 __all__ = [
     "ReproError",
+    "AnalysisError",
     "ConfigError",
     "LogOverflowError",
+    "SanitizerError",
     "SimulationError",
     "RecoveryError",
+    "SimObserver",
     "CACHE_LINE_BYTES",
     "WORD_BYTES",
     "WORDS_PER_LINE",

@@ -40,3 +40,25 @@ class RecoveryError(ReproError):
 
 class DeadlockError(SimulationError):
     """Every runnable thread is blocked and no event can unblock them."""
+
+
+class AnalysisError(ReproError):
+    """The correctness-analysis tooling itself could not proceed.
+
+    Raised by :mod:`repro.analysis` when a lint run cannot be completed
+    (e.g. every lint thread is functionally blocked) - distinct from a
+    *violation*, which is a finding about the analysed program.
+    """
+
+
+class SanitizerError(SimulationError):
+    """A runtime persistency invariant was violated (sanitizer finding).
+
+    Carries the structured :class:`~repro.analysis.rules.Violation` record
+    that triggered it, so tests and tooling can match on the exact rule ID
+    instead of parsing the message.
+    """
+
+    def __init__(self, violation):
+        self.violation = violation
+        super().__init__(f"[{violation.rule_id}] {violation.message}")

@@ -1,0 +1,78 @@
+"""Lightweight observation hooks for the simulated machine.
+
+The core and memory layers each expose an optional ``observer`` attribute
+(default ``None``) and notify it at a handful of well-defined event points.
+:class:`SimObserver` is the no-op base: every method does nothing, so the
+hot paths pay one ``is not None`` test when observation is off and a plain
+method call when it is on.
+
+The runtime invariant sanitizer (:mod:`repro.analysis.sanitizer`) is the
+primary consumer; tests may subclass this to record event traces. This
+module lives in :mod:`repro.common` so that :mod:`repro.core` and
+:mod:`repro.mem` can reference the protocol without importing the analysis
+package (which imports them).
+"""
+
+from __future__ import annotations
+
+
+class SimObserver:
+    """No-op base class for machine-event observers.
+
+    Subclass and override the events of interest. Handlers must not mutate
+    the structures they are handed; they exist to *check* and *account*.
+    """
+
+    # -- write pending queue (mem/wpq.py) ---------------------------------
+
+    def wpq_accepted(self, wpq, op) -> None:
+        """``op`` entered ``wpq`` (the ADR durability point)."""
+
+    def wpq_drained(self, wpq, op) -> None:
+        """``op`` reached the persistent medium."""
+
+    def wpq_dropped(self, wpq, op) -> None:
+        """``op`` was removed before drain (LPO/DPO dropping, Sec. 5.1)."""
+
+    # -- cache hierarchy (mem/hierarchy.py) -------------------------------
+
+    def line_evicted(self, meta, wb_op) -> None:
+        """A persistent line left the LLC; ``wb_op`` is its writeback
+        persist op (None when the line was clean)."""
+
+    # -- dependence list (core/dependence.py) -----------------------------
+
+    def dep_entry_opened(self, dep_list, entry) -> None:
+        """A Dependence List entry was created for a new region."""
+
+    def dep_entry_removed(self, dep_list, rid) -> None:
+        """A Dependence List entry was cleared (region committed)."""
+
+    # -- ASAP engine (core/engine.py) -------------------------------------
+
+    def region_begun(self, engine, thread, rid) -> None:
+        """A top-level ``asap_begin`` allocated CL/Dependence entries."""
+
+    def region_ended(self, engine, thread, rid) -> None:
+        """A top-level ``asap_end`` retired (commit is still pending)."""
+
+    def dep_captured(self, engine, rid, owner) -> None:
+        """Region ``rid`` recorded a dependence on region ``owner``."""
+
+    def slot_opened(self, engine, entry, line) -> None:
+        """A CLPtr slot started tracking ``line`` for ``entry``'s region."""
+
+    def lpo_initiated(self, engine, rid, line, entry_addr) -> None:
+        """A Log Persist Operation for ``line`` was sent towards a WPQ."""
+
+    def lpo_logged(self, engine, rid, line) -> None:
+        """The WPQ accepted the LPO: ``line``'s old value is durable."""
+
+    def dpo_initiated(self, engine, rid, line) -> None:
+        """A Data Persist Operation for ``line`` was sent towards a WPQ."""
+
+    def region_committed(self, engine, rid) -> None:
+        """Fig. 4 transition (4): the region became durable."""
+
+    def log_freed(self, engine, rid, records) -> None:
+        """The committed region's log records returned to the free pool."""

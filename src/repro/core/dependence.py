@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.common.errors import SimulationError
+from repro.common.observe import SimObserver
 from repro.core.states import RegionState
 from repro.engine import Scheduler, WaitQueue
 
@@ -59,6 +60,8 @@ class DependenceList:
         self.dep_waiters = WaitQueue(scheduler)
         self.entry_stalls = 0
         self.dep_stalls = 0
+        #: optional :class:`SimObserver` notified on entry open/remove
+        self.observer: Optional[SimObserver] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -88,12 +91,16 @@ class DependenceList:
             raise SimulationError(f"duplicate Dependence entry for rid {rid}")
         entry = DependenceEntry(rid, self.dep_slots)
         self._entries[rid] = entry
+        if self.observer is not None:
+            self.observer.dep_entry_opened(self, entry)
         return entry
 
     def remove_entry(self, rid: int) -> None:
         """Commit: clear the region's entry (Fig. 4 transition (4))."""
         if rid in self._entries:
             del self._entries[rid]
+            if self.observer is not None:
+                self.observer.dep_entry_removed(self, rid)
             self.entry_waiters.wake_one()
 
     def clear_dependency(self, committed_rid: int) -> List[DependenceEntry]:

@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.common.address import line_base, words_of_line
 from repro.common.errors import SimulationError
+from repro.common.observe import SimObserver
 from repro.common.params import SystemConfig
 from repro.core.bloom import OwnerSpillBuffer
 from repro.core.cl_list import CLEntry, CLList, CLSlot
@@ -126,6 +127,8 @@ class AsapEngine:
         #: commit listeners, e.g. the recovery oracle
         self.on_commit: List[Callable[[int], None]] = []
         self._quiescent_waiters: List[Callable[[], None]] = []
+        #: optional :class:`SimObserver` (the runtime invariant sanitizer)
+        self.observer: Optional[SimObserver] = None
 
         hierarchy.evict_hook = self._on_llc_evict
         hierarchy.reload_hook = self._on_pm_reload
@@ -208,6 +211,10 @@ class AsapEngine:
         thread.last_rid = rid
         thread.commit_signals[rid] = Signal(self.scheduler)
         self.stats.regions_begun += 1
+        if self.observer is not None:
+            self.observer.region_begun(self, thread, rid)
+            if prev is not None and prev in entry.deps:
+                self.observer.dep_captured(self, rid, prev)
         done()
 
     # ------------------------------------------------------------------
@@ -228,6 +235,8 @@ class AsapEngine:
             raise SimulationError("no active region at top-level asap_end")
         thread.active_rid = None
         self.stats.regions_ended += 1
+        if self.observer is not None:
+            self.observer.region_ended(self, thread, rid)
         entry = self.cl_lists[thread.core_id].entry(rid)
         if entry is None:
             raise SimulationError(f"missing CL entry for {rid} at asap_end")
@@ -348,6 +357,8 @@ class AsapEngine:
             return
         entry.deps.add(owner)
         self.stats.dep_captures += 1
+        if self.observer is not None:
+            self.observer.dep_captured(self, rid, owner)
         then()
 
     def _ensure_slot(
@@ -377,6 +388,8 @@ class AsapEngine:
                 return
             entry.pressure = False
             slot = entry.add_slot(meta.line)
+            if self.observer is not None:
+                self.observer.slot_opened(self, entry, meta.line)
         self._after_slot(thread, rid, entry, slot, meta, old_snapshot, done)
 
     def _after_slot(
@@ -438,6 +451,8 @@ class AsapEngine:
 
             def accepted(op: PersistOp) -> None:
                 record.confirm(slot_idx)
+                if self.observer is not None:
+                    self.observer.lpo_logged(self, rid, line)
                 self._lpo_accepted(op, thread)
 
             op = PersistOp(
@@ -449,6 +464,8 @@ class AsapEngine:
                 on_complete=accepted,
             )
             self.stats.lpos_initiated += 1
+            if self.observer is not None:
+                self.observer.lpo_initiated(self, rid, line, entry_addr)
             self.memory.issue_persist(op)
             # Instruction execution proceeds while the LPO is in flight.
             then()
@@ -581,6 +598,8 @@ class AsapEngine:
             on_complete=lambda op: self._dpo_accepted(entry, slot, version, thread),
         )
         self.stats.dpos_initiated += 1
+        if self.observer is not None:
+            self.observer.dpo_initiated(self, entry.rid, line)
         self.memory.issue_persist(op)
 
     def _dpo_accepted(
@@ -639,10 +658,14 @@ class AsapEngine:
     def _commit(self, rid: int) -> None:
         """Fig. 4 transition (4): free the log, clear the entry, broadcast."""
         thread = self.threads[rid >> 32]
+        if self.observer is not None:
+            self.observer.region_committed(self, rid)
         dl = self.dep_list_for(rid)
         dl.remove_entry(rid)
         open_record = thread.log.open_record(rid)
         records = thread.log.free(rid)
+        if self.observer is not None:
+            self.observer.log_freed(self, rid, records)
         for lh in self.lh_wpqs:
             lh.release_region(rid)
         if self.params.lpo_dropping:

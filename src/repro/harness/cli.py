@@ -84,7 +84,19 @@ def main(argv=None) -> int:
         default=None,
         help="also write one CSV per experiment into DIR",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run every simulation with the runtime invariant sanitizer "
+        "attached (raises on the first WAL-contract violation; see "
+        "python -m repro.analysis rules)",
+    )
     args = parser.parse_args(argv)
+
+    if args.sanitize:
+        from repro.harness import runner
+
+        runner.set_sanitize_default(True)
 
     if args.experiment == "config":
         print(_dump_config())

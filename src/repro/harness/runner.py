@@ -2,13 +2,24 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.common.params import SystemConfig
 from repro.persist import make_scheme
 from repro.sim.machine import Machine
 from repro.sim.stats import RunResult
 from repro.workloads import WorkloadParams, get_workload
+
+#: process-wide default for ``run_once(..., sanitize=None)``; the harness
+#: CLI's ``--sanitize`` flag flips this so every experiment run validates
+#: the WAL contract as it measures (see repro.analysis.sanitizer).
+SANITIZE_DEFAULT: bool = False
+
+
+def set_sanitize_default(enabled: bool) -> None:
+    """Enable/disable the runtime invariant sanitizer for subsequent runs."""
+    global SANITIZE_DEFAULT
+    SANITIZE_DEFAULT = enabled
 
 
 def default_config(
@@ -53,10 +64,25 @@ def run_once(
     scheme: str,
     config: Optional[SystemConfig] = None,
     params: Optional[WorkloadParams] = None,
+    sanitize: Union[bool, object, None] = None,
 ) -> RunResult:
-    """Build a machine, install one workload under one scheme, run it."""
+    """Build a machine, install one workload under one scheme, run it.
+
+    Args:
+        sanitize: None follows :data:`SANITIZE_DEFAULT`; True attaches a
+            fresh raising :class:`~repro.analysis.Sanitizer`; a
+            ``Sanitizer`` instance is attached as-is (so callers can
+            collect violations instead of raising).
+    """
     config = config or default_config()
     params = params or default_params()
     machine = Machine(config, make_scheme(scheme))
     get_workload(workload, params).install(machine)
+    if sanitize is None:
+        sanitize = SANITIZE_DEFAULT
+    if sanitize:
+        from repro.analysis.sanitizer import Sanitizer
+
+        sanitizer = sanitize if isinstance(sanitize, Sanitizer) else Sanitizer()
+        sanitizer.attach(machine)
     return machine.run()

@@ -22,6 +22,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.common.address import line_base
 from repro.common.errors import SimulationError
+from repro.common.observe import SimObserver
 from repro.common.params import SystemConfig
 from repro.engine import Scheduler
 from repro.mem.cache import CacheArray
@@ -73,6 +74,8 @@ class CacheHierarchy:
         #: scheme hooks (Sec. 5.3); set by the ASAP engine when active.
         self.evict_hook: Optional[EvictHook] = None
         self.reload_hook: Optional[ReloadHook] = None
+        #: optional :class:`SimObserver` notified on persistent evictions
+        self.observer: Optional[SimObserver] = None
 
         # statistics
         self.accesses = 0
@@ -174,6 +177,8 @@ class CacheHierarchy:
                 payload=snapshot_line(self.volatile, victim),
                 rid=meta.owner_rid,
             )
+        if meta.pbit and self.observer is not None:
+            self.observer.line_evicted(meta, wb_op)
         if self.evict_hook is not None and meta.pbit:
             # The hook may mark wb_op dropped: redo-style schemes must not
             # let uncommitted data reach its in-place address (the log

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.common.errors import SimulationError
+from repro.common.observe import SimObserver
 from repro.engine import Scheduler, WaitQueue
 from repro.mem.image import MemoryImage
 
@@ -120,6 +121,8 @@ class WritePendingQueue:
         self._backpressure = WaitQueue(scheduler)
         self._draining = False
         self._drain_event = None
+        #: optional :class:`SimObserver` notified on accept/drain/drop
+        self.observer: Optional[SimObserver] = None
         # statistics
         self.accepted = 0
         self.drained = 0
@@ -161,6 +164,8 @@ class WritePendingQueue:
                 )
         self.accepted += 1
         self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        if self.observer is not None:
+            self.observer.wpq_accepted(self, op)
         if op.on_complete is not None:
             cb, op.on_complete = op.on_complete, None
             cb(op)
@@ -191,6 +196,8 @@ class WritePendingQueue:
         _, op = self._entries.popitem(last=False)
         self._pm_image.apply(op.materialized_payload())
         self.drained += 1
+        if self.observer is not None:
+            self.observer.wpq_drained(self, op)
         if self._on_drain is not None:
             self._on_drain(op)
         if op.on_drain is not None:
@@ -213,6 +220,8 @@ class WritePendingQueue:
             op = self._entries.pop(op_id)
             op.dropped = True
             self.dropped += 1
+            if self.observer is not None:
+                self.observer.wpq_dropped(self, op)
             if op.on_drain is not None:
                 # A dropped write is satisfied, not lost: its data is
                 # superseded or no longer needed; waiters must not hang.

@@ -19,9 +19,24 @@ import abc
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, SimulationError
 from repro.common.units import WORD_BYTES
 from repro.sim.machine import Machine
+
+
+def expect_word(actual: int, expected: int, context: str) -> None:
+    """Check a value read from simulated memory against the shadow model.
+
+    Workloads use this instead of a bare ``assert`` so the check survives
+    ``python -O`` and failures carry a diagnostic payload: a divergence
+    here means the simulator returned a value the shadow never wrote -
+    an ordering or isolation bug, not a workload bug.
+    """
+    if actual != expected:
+        raise SimulationError(
+            f"shadow model diverged from simulated memory: {context} "
+            f"(read {actual:#x}, expected {expected:#x})"
+        )
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,7 @@ from typing import Dict, Optional
 from repro.common.units import WORD_BYTES
 from repro.sim.machine import Machine
 from repro.sim.ops import Begin, End, Lock, Read, Unlock, Write
-from repro.workloads.base import Workload, register
+from repro.workloads.base import Workload, expect_word, register
 
 _HEADER_WORDS = 4
 
@@ -108,7 +108,7 @@ class BinaryTree(Workload):
         parent, went_left = None, False
         while cur is not None:
             (node_key,) = yield Read(cur.addr, 1)
-            assert node_key == cur.key, "shadow diverged from simulated memory"
+            expect_word(node_key, cur.key, f"BST node key at {cur.addr:#x}")
             if key == node_key:
                 # Key exists: degrade to an update of its payload.
                 yield Write(cur.addr + _HEADER_WORDS * WORD_BYTES, self.payload_words(value))
@@ -135,7 +135,7 @@ class BinaryTree(Workload):
     def _update(self, shadow, key, op_index):
         node = shadow[key]
         (node_key,) = yield Read(node.addr, 1)
-        assert node_key == key
+        expect_word(node_key, key, f"BST node key at {node.addr:#x}")
         value = self.derive_value(self.params.seed, key, op_index + 1)
         yield Write(node.addr + _HEADER_WORDS * WORD_BYTES, self.payload_words(value))
 

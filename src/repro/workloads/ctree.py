@@ -15,7 +15,7 @@ from typing import Optional
 from repro.common.units import CACHE_LINE_BYTES, WORD_BYTES
 from repro.sim.machine import Machine
 from repro.sim.ops import Begin, End, Lock, Read, Unlock, Write
-from repro.workloads.base import Workload, register
+from repro.workloads.base import Workload, expect_word, register
 
 _KEY_BITS = 30
 
@@ -143,7 +143,7 @@ class CTree(Workload):
                     key = trng.choice(list(shadow))
                     leaf = shadow[key]
                     (k,) = yield Read(leaf.addr, 1)
-                    assert k == key
+                    expect_word(k, key, f"c-tree leaf key at {leaf.addr:#x}")
                     value = self.derive_value(params.seed, key, op + 11)
                     yield Write(leaf.addr + CACHE_LINE_BYTES, self.payload_words(value))
                 yield End()

@@ -18,7 +18,7 @@ from typing import Optional
 from repro.common.units import CACHE_LINE_BYTES, WORD_BYTES
 from repro.sim.machine import Machine
 from repro.sim.ops import Begin, End, Lock, Read, Unlock, Write
-from repro.workloads.base import Workload, register
+from repro.workloads.base import Workload, expect_word, register
 
 
 class _Node:
@@ -78,7 +78,7 @@ class Queue(Workload):
             yield Write(node.addr + CACHE_LINE_BYTES, self.payload_words(value))
             (tail_addr,) = yield Read(tail_cell, 1)
             tail = state["tail"]
-            assert tail.addr == tail_addr
+            expect_word(tail_addr, tail.addr, "queue tail anchor")
             yield Write(tail.addr, [node.addr, tail.seq])
             tail.next = node
             yield Write(tail_cell, [node.addr])

@@ -15,7 +15,7 @@ from typing import Dict, Optional, Set
 from repro.common.units import CACHE_LINE_BYTES, WORD_BYTES
 from repro.sim.machine import Machine
 from repro.sim.ops import Begin, End, Lock, Read, Unlock, Write
-from repro.workloads.base import Workload, register
+from repro.workloads.base import Workload, expect_word, register
 
 RED, BLACK = 0, 1
 
@@ -198,7 +198,7 @@ class RBTree(Workload):
                     key = trng.choice(list(shadow))
                     node = shadow[key]
                     (k,) = yield Read(node.addr, 1)
-                    assert k == key
+                    expect_word(k, key, f"RB node key at {node.addr:#x}")
                     value = self.derive_value(params.seed, key, op + 17)
                     yield Write(node.addr + CACHE_LINE_BYTES, self.payload_words(value))
                 yield End()

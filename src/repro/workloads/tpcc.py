@@ -20,7 +20,7 @@ import random
 from repro.common.units import CACHE_LINE_BYTES
 from repro.sim.machine import Machine
 from repro.sim.ops import Begin, End, Lock, Read, Unlock, Write
-from repro.workloads.base import Workload, register
+from repro.workloads.base import Workload, expect_word, register
 
 _NUM_DISTRICTS = 8
 _NUM_ITEMS = 128
@@ -69,7 +69,7 @@ class TPCC(Workload):
                 yield Lock(stock_locks[s])
             yield Begin()
             (o_id, ytd) = yield Read(district_addr(d), 2)
-            assert o_id == shadow_district[d]["next_o_id"]
+            expect_word(o_id, shadow_district[d]["next_o_id"], f"district {d} next_o_id")
             shadow_district[d]["next_o_id"] = o_id + 1
             shadow_district[d]["ytd"] = ytd + ol_cnt
             yield Write(district_addr(d), [o_id + 1])
