@@ -13,6 +13,11 @@ Environment knobs:
 * ``ASAP_BENCH_WORKLOADS`` - comma-separated Table 3 subset (default: all
   nine, exactly the paper's rows).
 * ``ASAP_BENCH_FULL=1`` - use the full Table 2 machine (slow).
+* ``ASAP_BENCH_JOBS=N`` - fan each figure's simulation cells out across N
+  worker processes (default 1: serial). Rows are identical either way;
+  only the wall time changes. The result cache is never used here - a
+  benchmark that reads cached cells would time the cache, not the
+  simulator.
 """
 
 import os
@@ -33,6 +38,10 @@ def bench_quick() -> bool:
     return os.environ.get("ASAP_BENCH_FULL", "0") != "1"
 
 
+def bench_jobs() -> int:
+    return max(1, int(os.environ.get("ASAP_BENCH_JOBS", "1")))
+
+
 @pytest.fixture(scope="session")
 def workloads():
     return bench_workloads()
@@ -45,6 +54,7 @@ def quick():
 
 def run_figure(benchmark, run_fn, **kwargs):
     """Run a figure regeneration exactly once under the benchmark timer."""
+    kwargs.setdefault("jobs", bench_jobs())
     result = benchmark.pedantic(lambda: run_fn(**kwargs), rounds=1, iterations=1)
     print()
     print(result.to_table())

@@ -41,7 +41,7 @@ from repro.sim.machine import Machine
 from repro.sim.stats import RunResult
 from repro.workloads import WorkloadParams, get_workload, workload_names
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AsapParams",

@@ -1,14 +1,47 @@
 """The experiment harness: regenerate every table and figure.
 
-Each experiment module exposes ``run(quick=...)`` returning an
+Each experiment module declares its run matrix as a list of
+:class:`~repro.harness.parallel.RunSpec` cells (``plan()``) and exposes
+``run(quick=..., jobs=..., cache=...)`` returning an
 :class:`~repro.harness.experiment.ExperimentResult` whose rows mirror the
 paper's plot series, plus the paper's reference numbers so the output
-reads as a paper-vs-measured comparison. The CLI
+reads as a paper-vs-measured comparison. Cells execute serially or across
+a process pool (:func:`~repro.harness.parallel.execute`) with an optional
+content-addressed on-disk cache
+(:class:`~repro.harness.parallel.ResultCache`). The CLI
 (``python -m repro.harness.run <experiment>`` or the installed
-``asap-repro`` script) prints them as text tables.
+``asap-repro`` script) prints them as text tables; see docs/HARNESS.md.
 """
 
 from repro.harness.experiment import ExperimentResult, geomean
-from repro.harness.runner import run_once, default_config, default_params
+from repro.harness.parallel import (
+    CellResult,
+    Plan,
+    ResultCache,
+    RunSpec,
+    execute,
+    run_cell,
+)
+from repro.harness.runner import (
+    default_config,
+    default_params,
+    run_once,
+    sanitize_default,
+    set_sanitize_default,
+)
 
-__all__ = ["ExperimentResult", "geomean", "run_once", "default_config", "default_params"]
+__all__ = [
+    "ExperimentResult",
+    "geomean",
+    "run_once",
+    "default_config",
+    "default_params",
+    "sanitize_default",
+    "set_sanitize_default",
+    "RunSpec",
+    "CellResult",
+    "Plan",
+    "ResultCache",
+    "execute",
+    "run_cell",
+]

@@ -3,10 +3,17 @@
 Usage::
 
     asap-repro fig7                # one experiment, quick mode
-    asap-repro all --full          # everything, full-size machine
+    asap-repro all --full --jobs 8 # everything, full machine, 8 workers
+    asap-repro fig7 --no-cache     # force every cell to re-run
     asap-repro config              # dump the Table 2 configuration
     asap-repro workloads           # list the Table 3 benchmarks
     python -m repro.harness.run fig9b
+
+Every experiment is a matrix of independent simulation cells; ``--jobs N``
+fans them out across worker processes and the on-disk result cache (on by
+default; see ``--cache-dir``/``--no-cache``) memoises finished cells, so
+re-running ``all`` recomputes only what changed. Results are identical
+for any job count and cache state - see docs/HARNESS.md.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ import time
 
 from repro.common.params import SystemConfig
 from repro.harness.experiments import REGISTRY
+from repro.harness.parallel import ResultCache
 from repro.workloads import WorkloadParams, get_workload, workload_names
 
 
@@ -51,6 +59,30 @@ def _dump_workloads() -> str:
     return "\n".join(lines)
 
 
+def _ratio(numerator: float, denominator: float, suffix: str = "x") -> str:
+    """``num/den`` to two decimals, or "n/a" when the denominator is zero
+    (a quick run can legitimately complete no regions under one scheme)."""
+    if not denominator:
+        return "n/a"
+    return f"{numerator / denominator:.2f}{suffix}"
+
+
+def _make_progress(exp_name: str, enabled: bool):
+    """Per-cell progress/timing printer (stderr keeps tables clean)."""
+    if not enabled:
+        return None
+
+    def progress(done, total, spec, cell):
+        status = "cached" if cell.cached else f"{cell.wall_seconds:.2f}s"
+        print(
+            f"  [{exp_name} {done}/{total}] {spec.describe()} ({status})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return progress
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="asap-repro",
@@ -71,6 +103,32 @@ def main(argv=None) -> int:
         nargs="*",
         default=None,
         help="restrict to these Table 3 workloads",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run independent simulation cells across N worker processes "
+        "(default 1: serial, bit-identical rows either way)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result-cache directory (default: $ASAP_CACHE_DIR, else "
+        "~/.cache/asap-repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache (every cell re-runs)",
+    )
+    parser.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress per-cell progress/timing lines on stderr",
     )
     parser.add_argument(
         "--json",
@@ -98,6 +156,11 @@ def main(argv=None) -> int:
 
         runner.set_sanitize_default(True)
 
+    jobs = max(1, args.jobs)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or ResultCache.default_dir())
+
     if args.experiment == "config":
         print(_dump_config())
         return 0
@@ -109,23 +172,24 @@ def main(argv=None) -> int:
         from repro.area import estimate_area
 
         workloads = args.workloads or ["BN", "HM", "Q"]
-        f7 = fig7.run(quick=not args.full, workloads=workloads, sizes=[64])
-        f8 = fig8.run(quick=not args.full, workloads=workloads, sizes=[64])
-        f9 = fig9b.run(quick=not args.full, workloads=workloads)
+        common = dict(quick=not args.full, workloads=workloads, jobs=jobs, cache=cache)
+        f7 = fig7.run(sizes=[64], **common)
+        f8 = fig8.run(sizes=[64], **common)
+        f9 = fig9b.run(**common)
         area_pct = estimate_area().total_overhead * 100
         gm7, gm8, gm9 = f7.rows["GeoMean"], f8.rows["GeoMean"], f9.rows["GeoMean"]
         print("headline claims (paper -> measured, geomean over "
               f"{', '.join(workloads)}):")
         print(f"  speedup over SW:        ASAP 2.25x -> {gm7['ASAP']:.2f}x")
-        print(f"  vs no-persistence:      0.96x NP   -> {gm7['ASAP'] / gm7['NP']:.2f}x NP")
+        print(f"  vs no-persistence:      0.96x NP   -> "
+              f"{_ratio(gm7['ASAP'], gm7['NP'], 'x NP')}")
         print(f"  region latency vs NP:   1.08x      -> {gm8['ASAP']:.2f}x")
-        print(f"  traffic vs HWUndo:      0.52x      -> {1 / gm9['HWUndo']:.2f}x")
-        print(f"  traffic vs HWRedo:      0.62x      -> {1 / gm9['HWRedo']:.2f}x")
+        print(f"  traffic vs HWUndo:      0.52x      -> {_ratio(1, gm9['HWUndo'])}")
+        print(f"  traffic vs HWRedo:      0.62x      -> {_ratio(1, gm9['HWRedo'])}")
         print(f"  area overhead:          ~2.5%      -> {area_pct:.2f}%")
         return 0
     if args.experiment == "crashtest":
         from repro.harness.crashtest import run_crashtest
-        from repro.workloads import workload_names
 
         targets = args.workloads or workload_names()
         failed = False
@@ -142,10 +206,16 @@ def main(argv=None) -> int:
         if name not in REGISTRY:
             parser.error(f"unknown experiment {name!r}; choose from {sorted(REGISTRY)}")
         start = time.time()
-        kwargs = {}
-        if args.workloads and name != "area":
+        hits_before = cache.hits if cache else 0
+        kwargs = dict(
+            quick=not args.full,
+            jobs=jobs,
+            cache=cache,
+            progress=_make_progress(name, not args.no_progress),
+        )
+        if args.workloads:
             kwargs["workloads"] = args.workloads
-        result = REGISTRY[name](quick=not args.full, **kwargs)
+        result = REGISTRY[name](**kwargs)
         results = result if isinstance(result, list) else [result]
         for r in results:
             print(r.to_table())
@@ -159,7 +229,10 @@ def main(argv=None) -> int:
             for i, r in enumerate(results):
                 suffix = f"_{i}" if len(results) > 1 else ""
                 (out / f"{name}{suffix}.csv").write_text(r.to_csv())
-        print(f"  [{time.time() - start:.1f}s]\n")
+        cached_note = (
+            f", {cache.hits - hits_before} cells from cache" if cache else ""
+        )
+        print(f"  [{time.time() - start:.1f}s{cached_note}]\n")
     if args.json:
         import json
 

@@ -35,13 +35,30 @@ class ExperimentResult:
         self.rows[label] = dict(cells)
 
     def geomean_row(self, labels: Optional[List[str]] = None) -> Dict[str, float]:
-        """Append and return a GeoMean row over the given row labels."""
+        """Append and return a GeoMean row over the given row labels.
+
+        Non-positive cells cannot enter a geometric mean and are excluded;
+        excluding them silently would *inflate* the GeoMean row (a zero
+        cell usually means a scheme completed no regions in a quick run),
+        so every excluded cell is surfaced in :attr:`notes`.
+        """
         labels = labels or [r for r in self.rows if r != "GeoMean"]
         gm = {
             col: geomean([self.rows[r].get(col, 0.0) for r in labels])
             for col in self.columns
         }
         self.rows["GeoMean"] = gm
+        dropped = [
+            f"{r}:{col}"
+            for r in labels
+            for col in self.columns
+            if self.rows[r].get(col, 0.0) <= 0
+        ]
+        if dropped:
+            note = (
+                "GeoMean excludes non-positive cells: " + ", ".join(dropped)
+            )
+            self.notes = f"{self.notes}; {note}" if self.notes else note
         return gm
 
     def cell(self, row: str, col: str) -> float:

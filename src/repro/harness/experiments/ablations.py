@@ -14,6 +14,9 @@ distance, WPQ capacity, and the eviction-spill path all react to):
 * **Bloom filter + DRAM spill buffer** (Sec. 5.3): force LLC evictions of
   lines owned by uncommitted regions and verify the spill/reload path
   fires, with the filter screening reloads.
+
+The bespoke machines are built by module-level factories so parallel
+``RunSpec`` cells can carry them by reference into worker processes.
 """
 
 from __future__ import annotations
@@ -22,12 +25,17 @@ from dataclasses import replace
 
 from repro.common.params import CacheParams, SystemConfig
 from repro.harness.experiment import ExperimentResult
+from repro.harness.parallel import Plan, RunSpec
+from repro.harness.runner import resolve_sanitize
 from repro.persist import make_scheme
 from repro.sim.machine import Machine
-from repro.sim.ops import Begin, End, Read, Write
+from repro.sim.ops import Begin, End, Fence, Read, Write
 
 DISTANCES = [1, 2, 4, 8]
 WPQ_SIZES = [2, 4, 8, 32]
+
+_HOT_SUMMARY = "repro.harness.experiments.ablations:_hot_summary_machine"
+_FENCE = "repro.harness.experiments.ablations:_fence_machine"
 
 
 def _hot_summary_machine(
@@ -73,28 +81,62 @@ def _hot_summary_machine(
     return machine
 
 
-def run_dpo_distance(quick: bool = True, workloads=None) -> ExperimentResult:
+def _fence_machine(batch: int = 0):
+    """Sixty one-line regions with an ``asap_fence`` every ``batch`` of
+    them (0 = never fence)."""
+    cfg = SystemConfig.small(num_cores=2)
+    machine = Machine(cfg, make_scheme("asap"))
+    a = machine.heap.alloc(64 * 8)
+
+    def worker(env):
+        for i in range(60):
+            yield Begin()
+            yield Write(a + 64 * (i % 8), [i])
+            yield End()
+            if batch and (i + 1) % batch == 0:
+                yield Fence()
+
+    machine.spawn(worker)
+    return machine
+
+
+def plan_dpo_distance(quick: bool = True, workloads=None, sanitize=None) -> Plan:
     """DPO initiations and PM traffic vs coalescing distance (d=4 = 1.0)."""
-    result = ExperimentResult(
-        exp_id="Abl. 1",
-        title="DPO coalescing distance on the hot-summary stress "
-        "(normalized to d=4, lower is better)",
-        columns=[f"d={d}" for d in DISTANCES],
-        notes='paper: "no benefit has been observed [at] a distance larger '
-        'than four" (Sec. 4.6.2); the win is d=1 -> d=2..4, then flat',
-    )
-    dpos, traffic = {}, {}
-    for d in DISTANCES:
-        machine = _hot_summary_machine(dpo_distance=d)
-        res = machine.run()
-        dpos[d] = machine.scheme.engine.stats.dpos_initiated
-        traffic[d] = res.pm_writes
-    result.add_row("DPOs initiated", **{f"d={d}": dpos[d] / dpos[4] for d in DISTANCES})
-    result.add_row("PM writes", **{f"d={d}": traffic[d] / traffic[4] for d in DISTANCES})
-    return result
+    sanitize = resolve_sanitize(sanitize)
+    specs = [
+        RunSpec(
+            key=("dpo", d),
+            builder=_HOT_SUMMARY,
+            builder_kwargs=(("dpo_distance", d),),
+            extras=(("dpos_initiated", "scheme.engine.stats.dpos_initiated"),),
+            sanitize=sanitize,
+        )
+        for d in DISTANCES
+    ]
+
+    def assemble(cells) -> ExperimentResult:
+        result = ExperimentResult(
+            exp_id="Abl. 1",
+            title="DPO coalescing distance on the hot-summary stress "
+            "(normalized to d=4, lower is better)",
+            columns=[f"d={d}" for d in DISTANCES],
+            notes='paper: "no benefit has been observed [at] a distance larger '
+            'than four" (Sec. 4.6.2); the win is d=1 -> d=2..4, then flat',
+        )
+        dpos = {d: cells[("dpo", d)].extras["dpos_initiated"] for d in DISTANCES}
+        traffic = {d: cells[("dpo", d)].result.pm_writes for d in DISTANCES}
+        result.add_row(
+            "DPOs initiated", **{f"d={d}": dpos[d] / dpos[4] for d in DISTANCES}
+        )
+        result.add_row(
+            "PM writes", **{f"d={d}": traffic[d] / traffic[4] for d in DISTANCES}
+        )
+        return result
+
+    return Plan(specs, assemble)
 
 
-def run_wpq_size(quick: bool = True, workloads=None) -> ExperimentResult:
+def plan_wpq_size(quick: bool = True, workloads=None, sanitize=None) -> Plan:
     """Throughput vs ADR-protected WPQ capacity, per scheme, at 8x PM.
 
     The interesting finding is a *non*-finding: ASAP sustains its full
@@ -103,31 +145,49 @@ def run_wpq_size(quick: bool = True, workloads=None) -> ExperimentResult:
     contrast the paper draws against eADR/BBB-style designs (Sec. 8),
     which buy the same latency hiding with large batteries.
     """
-    result = ExperimentResult(
-        exp_id="Abl. 2",
-        title="WPQ capacity at 8x PM latency (throughput normalized to "
-        "ASAP at the largest queue; higher is better)",
-        columns=[f"wpq={n}" for n in WPQ_SIZES],
-        notes="ASAP is flat: asynchronous commit does not rely on deep "
-        "ADR buffering (contrast eADR/BBB, Sec. 8)",
-    )
-    tp = {}
-    for scheme in ("asap", "hwundo", "sw"):
-        for n in WPQ_SIZES:
-            machine = _hot_summary_machine(
-                wpq_entries=n, pm_latency_multiplier=8, scheme=scheme
-            )
-            tp[(scheme, n)] = machine.run().throughput
-    base = tp[("asap", WPQ_SIZES[-1])] or 1
-    for scheme in ("asap", "hwundo", "sw"):
-        result.add_row(
-            scheme.upper(),
-            **{f"wpq={n}": tp[(scheme, n)] / base for n in WPQ_SIZES},
+    sanitize = resolve_sanitize(sanitize)
+    schemes = ("asap", "hwundo", "sw")
+    specs = [
+        RunSpec(
+            key=("wpq", scheme, n),
+            builder=_HOT_SUMMARY,
+            builder_kwargs=(
+                ("pm_latency_multiplier", 8),
+                ("scheme", scheme),
+                ("wpq_entries", n),
+            ),
+            sanitize=sanitize,
         )
-    return result
+        for scheme in schemes
+        for n in WPQ_SIZES
+    ]
+
+    def assemble(cells) -> ExperimentResult:
+        result = ExperimentResult(
+            exp_id="Abl. 2",
+            title="WPQ capacity at 8x PM latency (throughput normalized to "
+            "ASAP at the largest queue; higher is better)",
+            columns=[f"wpq={n}" for n in WPQ_SIZES],
+            notes="ASAP is flat: asynchronous commit does not rely on deep "
+            "ADR buffering (contrast eADR/BBB, Sec. 8)",
+        )
+        tp = {
+            (scheme, n): cells[("wpq", scheme, n)].result.throughput
+            for scheme in schemes
+            for n in WPQ_SIZES
+        }
+        base = tp[("asap", WPQ_SIZES[-1])] or 1
+        for scheme in schemes:
+            result.add_row(
+                scheme.upper(),
+                **{f"wpq={n}": tp[(scheme, n)] / base for n in WPQ_SIZES},
+            )
+        return result
+
+    return Plan(specs, assemble)
 
 
-def run_bloom(quick: bool = True, workloads=None) -> ExperimentResult:
+def plan_bloom(quick: bool = True, workloads=None, sanitize=None) -> Plan:
     """The Sec. 5.3 spill path under LLC pressure.
 
     A tiny LLC plus a saturated WPQ keeps regions uncommitted while their
@@ -135,29 +195,50 @@ def run_bloom(quick: bool = True, workloads=None) -> ExperimentResult:
     filter + DRAM buffer. Reported: spills, buffer hits, false positives
     with the paper's 1 KB filter vs a degenerate 1-bit one.
     """
-    result = ExperimentResult(
-        exp_id="Abl. 3",
-        title="OwnerRID spill/reload path under LLC pressure (Sec. 5.3)",
-        columns=["spills", "hits", "false positives"],
-    )
-    for label, bits in (("1KB filter", 8 * 1024), ("1-bit filter", 1)):
-        machine = _hot_summary_machine(
-            wpq_entries=1, llc_kb=4, bloom_filter_bits=bits, readers=1
+    sanitize = resolve_sanitize(sanitize)
+    points = [("1KB filter", 8 * 1024), ("1-bit filter", 1)]
+    specs = [
+        RunSpec(
+            key=("bloom", label),
+            builder=_HOT_SUMMARY,
+            builder_kwargs=(
+                ("wpq_entries", 1),
+                ("llc_kb", 4),
+                ("bloom_filter_bits", bits),
+                ("readers", 1),
+            ),
+            extras=(
+                ("spills", "scheme.engine.spill.spills"),
+                ("hits", "scheme.engine.spill.hits"),
+                ("false_positives", "scheme.engine.spill.false_positives"),
+            ),
+            sanitize=sanitize,
         )
-        machine.run()
-        spill = machine.scheme.engine.spill
-        result.add_row(
-            label,
-            **{
-                "spills": float(spill.spills),
-                "hits": float(spill.hits),
-                "false positives": float(spill.false_positives),
-            },
+        for label, bits in points
+    ]
+
+    def assemble(cells) -> ExperimentResult:
+        result = ExperimentResult(
+            exp_id="Abl. 3",
+            title="OwnerRID spill/reload path under LLC pressure (Sec. 5.3)",
+            columns=["spills", "hits", "false positives"],
         )
-    return result
+        for label, _ in points:
+            extras = cells[("bloom", label)].extras
+            result.add_row(
+                label,
+                **{
+                    "spills": float(extras["spills"]),
+                    "hits": float(extras["hits"]),
+                    "false positives": float(extras["false_positives"]),
+                },
+            )
+        return result
+
+    return Plan(specs, assemble)
 
 
-def run_fence_batching(quick: bool = True, workloads=None) -> ExperimentResult:
+def plan_fence_batching(quick: bool = True, workloads=None, sanitize=None) -> Plan:
     """Sec. 5.2's guidance, swept: fence per batch of K regions.
 
     The paper advises calling ``asap_fence()`` once per *batch* of updates
@@ -165,51 +246,97 @@ def run_fence_batching(quick: bool = True, workloads=None) -> ExperimentResult:
     the batch size shows the cost curve: per-region fencing forfeits most
     of the asynchronous-commit win; even small batches recover it.
     """
+    sanitize = resolve_sanitize(sanitize)
     batch_sizes = [1, 4, 16, 0]  # 0 = never fence
-    result = ExperimentResult(
-        exp_id="Abl. 4",
-        title="asap_fence batching (throughput normalized to fence-free, "
-        "higher is better)",
-        columns=[
-            ("no fence" if k == 0 else f"every {k}") for k in batch_sizes
-        ],
-        notes="Sec. 5.2: fence before the I/O that needs the guarantee, "
-        "not after every region",
-    )
-    from repro.sim.ops import Begin, End, Fence, Write
-
-    tp = {}
-    for k in batch_sizes:
-        cfg = SystemConfig.small(num_cores=2)
-        machine = Machine(cfg, make_scheme("asap"))
-        a = machine.heap.alloc(64 * 8)
-
-        def worker(env, k=k):
-            for i in range(60):
-                yield Begin()
-                yield Write(a + 64 * (i % 8), [i])
-                yield End()
-                if k and (i + 1) % k == 0:
-                    yield Fence()
-
-        machine.spawn(worker)
-        tp[k] = machine.run().throughput
-    base = tp[0] or 1
-    result.add_row(
-        "throughput",
-        **{
-            ("no fence" if k == 0 else f"every {k}"): tp[k] / base
-            for k in batch_sizes
-        },
-    )
-    return result
-
-
-def run(quick: bool = True, workloads=None):
-    """Run all four ablations; returns the list of results."""
-    return [
-        run_dpo_distance(quick, workloads),
-        run_wpq_size(quick, workloads),
-        run_bloom(quick, workloads),
-        run_fence_batching(quick, workloads),
+    specs = [
+        RunSpec(
+            key=("fence", k),
+            builder=_FENCE,
+            builder_kwargs=(("batch", k),),
+            sanitize=sanitize,
+        )
+        for k in batch_sizes
     ]
+
+    def assemble(cells) -> ExperimentResult:
+        result = ExperimentResult(
+            exp_id="Abl. 4",
+            title="asap_fence batching (throughput normalized to fence-free, "
+            "higher is better)",
+            columns=[("no fence" if k == 0 else f"every {k}") for k in batch_sizes],
+            notes="Sec. 5.2: fence before the I/O that needs the guarantee, "
+            "not after every region",
+        )
+        tp = {k: cells[("fence", k)].result.throughput for k in batch_sizes}
+        base = tp[0] or 1
+        result.add_row(
+            "throughput",
+            **{
+                ("no fence" if k == 0 else f"every {k}"): tp[k] / base
+                for k in batch_sizes
+            },
+        )
+        return result
+
+    return Plan(specs, assemble)
+
+
+def _execute(planner, quick, workloads, jobs, cache, progress, sanitize):
+    return planner(quick, workloads, sanitize).execute(
+        jobs=jobs, cache=cache, progress=progress
+    )
+
+
+def run_dpo_distance(
+    quick=True, workloads=None, jobs=1, cache=None, progress=None, sanitize=None
+) -> ExperimentResult:
+    return _execute(plan_dpo_distance, quick, workloads, jobs, cache, progress, sanitize)
+
+
+def run_wpq_size(
+    quick=True, workloads=None, jobs=1, cache=None, progress=None, sanitize=None
+) -> ExperimentResult:
+    return _execute(plan_wpq_size, quick, workloads, jobs, cache, progress, sanitize)
+
+
+def run_bloom(
+    quick=True, workloads=None, jobs=1, cache=None, progress=None, sanitize=None
+) -> ExperimentResult:
+    return _execute(plan_bloom, quick, workloads, jobs, cache, progress, sanitize)
+
+
+def run_fence_batching(
+    quick=True, workloads=None, jobs=1, cache=None, progress=None, sanitize=None
+) -> ExperimentResult:
+    return _execute(plan_fence_batching, quick, workloads, jobs, cache, progress, sanitize)
+
+
+def plan(quick: bool = True, workloads=None, sanitize=None) -> Plan:
+    """All four ablations as one combined matrix (keys are prefixed per
+    sub-experiment, so the cells can execute in one shared pool)."""
+    subplans = [
+        plan_dpo_distance(quick, workloads, sanitize),
+        plan_wpq_size(quick, workloads, sanitize),
+        plan_bloom(quick, workloads, sanitize),
+        plan_fence_batching(quick, workloads, sanitize),
+    ]
+    specs = [spec for sub in subplans for spec in sub.specs]
+
+    def assemble(cells):
+        return [sub.assemble(cells) for sub in subplans]
+
+    return Plan(specs, assemble)
+
+
+def run(
+    quick: bool = True,
+    workloads=None,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+    sanitize=None,
+):
+    """Run all four ablations; returns the list of results."""
+    return plan(quick, workloads, sanitize).execute(
+        jobs=jobs, cache=cache, progress=progress
+    )

@@ -9,7 +9,15 @@ from repro.harness.experiment import ExperimentResult
 PAPER = {"core %": 0.8, "uncore %": 1.7, "total %": 2.5}
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(
+    quick: bool = True,
+    workloads=None,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+    sanitize=None,
+) -> ExperimentResult:
+    # purely analytical - no simulation cells to fan out or cache
     report = estimate_area(SystemConfig())
     result = ExperimentResult(
         exp_id="Sec. 6.2",

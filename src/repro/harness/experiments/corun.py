@@ -17,45 +17,67 @@ lifetime-benefit proxy.
 from __future__ import annotations
 
 from repro.harness.experiment import ExperimentResult
-from repro.harness.runner import default_config, default_params
-from repro.persist import make_scheme
-from repro.sim.machine import Machine
-from repro.workloads import get_workload
+from repro.harness.parallel import Plan, RunSpec
+from repro.harness.runner import default_config, default_params, resolve_sanitize
 
 PAIRS = [("BN", "Q"), ("HM", "EO")]
 
 
-def _corun(ablation: str, pair, quick: bool):
-    config = default_config(quick, pm_latency_multiplier=4)
-    config = config.with_asap(config.asap.ablation(ablation))
-    machine = Machine(config, make_scheme("asap"))
+def plan(quick: bool = True, workloads=None, sanitize=None) -> Plan:
+    sanitize = resolve_sanitize(sanitize)
     params = default_params(quick)
-    for name in pair:
-        get_workload(name, params).install(machine)
-    return machine.run()
-
-
-def run(quick: bool = True, workloads=None) -> ExperimentResult:
-    result = ExperimentResult(
-        exp_id="Ext. 3",
-        title="Co-running applications at 4x PM latency: full ASAP vs the "
-        "no-optimization ablation (normalized to full ASAP)",
-        columns=["throughput", "PM writes", "lifetime proxy"],
-        notes="the paper's Sec. 1 claim: traffic optimizations pay off in "
-        "co-run throughput and device lifetime even though single-app "
-        "latency is unaffected (persists are asynchronous)",
-    )
+    specs = []
     for pair in PAIRS:
-        full = _corun("full", pair, quick)
-        noopt = _corun("no_opt", pair, quick)
-        label = "+".join(pair)
-        result.add_row(
-            f"{label} no-opt",
-            **{
-                "throughput": noopt.throughput / full.throughput,
-                "PM writes": noopt.pm_writes / max(1, full.pm_writes),
-                "lifetime proxy": full.pm_writes / max(1, noopt.pm_writes),
-            },
+        for ablation in ("full", "no_opt"):
+            config = default_config(quick, pm_latency_multiplier=4)
+            config = config.with_asap(config.asap.ablation(ablation))
+            specs.append(
+                RunSpec(
+                    key=("+".join(pair), ablation),
+                    workload=tuple(pair),
+                    scheme="asap",
+                    config=config,
+                    params=params,
+                    sanitize=sanitize,
+                )
+            )
+
+    def assemble(cells) -> ExperimentResult:
+        result = ExperimentResult(
+            exp_id="Ext. 3",
+            title="Co-running applications at 4x PM latency: full ASAP vs the "
+            "no-optimization ablation (normalized to full ASAP)",
+            columns=["throughput", "PM writes", "lifetime proxy"],
+            notes="the paper's Sec. 1 claim: traffic optimizations pay off in "
+            "co-run throughput and device lifetime even though single-app "
+            "latency is unaffected (persists are asynchronous)",
         )
-    result.geomean_row()
-    return result
+        for pair in PAIRS:
+            label = "+".join(pair)
+            full = cells[(label, "full")].result
+            noopt = cells[(label, "no_opt")].result
+            result.add_row(
+                f"{label} no-opt",
+                **{
+                    "throughput": noopt.throughput / full.throughput,
+                    "PM writes": noopt.pm_writes / max(1, full.pm_writes),
+                    "lifetime proxy": full.pm_writes / max(1, noopt.pm_writes),
+                },
+            )
+        result.geomean_row()
+        return result
+
+    return Plan(specs, assemble)
+
+
+def run(
+    quick: bool = True,
+    workloads=None,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+    sanitize=None,
+) -> ExperimentResult:
+    return plan(quick, workloads, sanitize).execute(
+        jobs=jobs, cache=cache, progress=progress
+    )

@@ -17,7 +17,8 @@ from __future__ import annotations
 from repro.common.params import SystemConfig
 from repro.common.units import CACHE_LINE_BYTES
 from repro.harness.experiment import ExperimentResult
-from repro.harness.runner import default_config, default_params, run_once
+from repro.harness.parallel import Plan, RunSpec
+from repro.harness.runner import default_config, default_params, resolve_sanitize
 from repro.workloads import workload_names
 
 
@@ -33,37 +34,74 @@ def asap_persistence_domain_bytes(config: SystemConfig) -> int:
     return mem.num_channels * per_channel
 
 
-def run(quick: bool = True, workloads=None) -> ExperimentResult:
-    workloads = workloads or workload_names()
-    result = ExperimentResult(
-        exp_id="Ext. 4",
-        title="ASAP vs idealized eADR (battery-backed caches): performance "
-        "parity without the battery (Sec. 8)",
-        columns=["ASAP/eADR throughput", "ASAP PM writes", "eADR PM writes"],
-    )
+def plan(quick: bool = True, workloads=None, sanitize=None) -> Plan:
+    workloads = list(workloads or workload_names())
+    sanitize = resolve_sanitize(sanitize)
+    specs = []
     for name in workloads:
         config = default_config(quick)
         params = default_params(quick)
-        asap = run_once(name, "asap", config, params)
-        eadr = run_once(name, "eadr", config, params)
-        result.add_row(
-            name,
-            **{
-                "ASAP/eADR throughput": asap.throughput / eadr.throughput,
-                # eADR holds nearly everything in the (battery-protected)
-                # caches; ASAP actually drains to the PM medium
-                "ASAP PM writes": float(asap.pm_writes),
-                "eADR PM writes": float(eadr.pm_writes),
-            },
+        for scheme in ("asap", "eadr"):
+            specs.append(
+                RunSpec(
+                    key=(name, scheme),
+                    workload=name,
+                    scheme=scheme,
+                    config=config,
+                    params=params,
+                    sanitize=sanitize,
+                )
+            )
+
+    def assemble(cells) -> ExperimentResult:
+        result = ExperimentResult(
+            exp_id="Ext. 4",
+            title="ASAP vs idealized eADR (battery-backed caches): performance "
+            "parity without the battery (Sec. 8)",
+            columns=["ASAP/eADR throughput", "ASAP PM writes", "eADR PM writes"],
         )
-    result.geomean_row()
-    cfg = SystemConfig()  # the Table 2 machine for the battery comparison
-    eadr_bytes = cfg.num_cores * (cfg.l1.size_bytes + cfg.l2.size_bytes) + cfg.l3.size_bytes
-    asap_bytes = asap_persistence_domain_bytes(cfg)
-    result.notes = (
-        f"battery-backed SRAM on the Table 2 machine: eADR needs the whole "
-        f"hierarchy ({eadr_bytes / 2**20:.1f} MiB); ASAP needs its "
-        f"persistence-domain structures ({asap_bytes / 2**10:.0f} KiB) - "
-        f"{eadr_bytes / asap_bytes:.0f}x less"
+        for name in workloads:
+            asap = cells[(name, "asap")].result
+            eadr = cells[(name, "eadr")].result
+            result.add_row(
+                name,
+                **{
+                    "ASAP/eADR throughput": asap.throughput / eadr.throughput,
+                    # eADR holds nearly everything in the (battery-protected)
+                    # caches; ASAP actually drains to the PM medium
+                    "ASAP PM writes": float(asap.pm_writes),
+                    "eADR PM writes": float(eadr.pm_writes),
+                },
+            )
+        result.geomean_row()
+        cfg = SystemConfig()  # the Table 2 machine for the battery comparison
+        eadr_bytes = (
+            cfg.num_cores * (cfg.l1.size_bytes + cfg.l2.size_bytes)
+            + cfg.l3.size_bytes
+        )
+        asap_bytes = asap_persistence_domain_bytes(cfg)
+        battery_note = (
+            f"battery-backed SRAM on the Table 2 machine: eADR needs the whole "
+            f"hierarchy ({eadr_bytes / 2**20:.1f} MiB); ASAP needs its "
+            f"persistence-domain structures ({asap_bytes / 2**10:.0f} KiB) - "
+            f"{eadr_bytes / asap_bytes:.0f}x less"
+        )
+        result.notes = (
+            f"{result.notes}; {battery_note}" if result.notes else battery_note
+        )
+        return result
+
+    return Plan(specs, assemble)
+
+
+def run(
+    quick: bool = True,
+    workloads=None,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+    sanitize=None,
+) -> ExperimentResult:
+    return plan(quick, workloads, sanitize).execute(
+        jobs=jobs, cache=cache, progress=progress
     )
-    return result

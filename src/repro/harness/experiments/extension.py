@@ -12,39 +12,76 @@ undo-ASAP.
 from __future__ import annotations
 
 from repro.harness.experiment import ExperimentResult
-from repro.harness.runner import default_config, default_params, run_once
+from repro.harness.parallel import Plan, RunSpec
+from repro.harness.runner import default_config, default_params, resolve_sanitize
 from repro.workloads import workload_names
 
 
-def run(quick: bool = True, workloads=None) -> ExperimentResult:
-    workloads = workloads or workload_names()
-    result = ExperimentResult(
-        exp_id="Ext. 1",
-        title="Asynchronous commit: undo (paper) vs redo (Fig. 2c variant), "
-        "normalized to undo-ASAP",
-        columns=["redo throughput", "redo traffic", "redirected reads"],
-        notes="the paper predicts undo >= redo once commits are "
-        "asynchronous (Sec. 3): redo pays read redirection and final-value "
-        "re-logging, and its in-place updates are less eager",
-    )
+def plan(quick: bool = True, workloads=None, sanitize=None) -> Plan:
+    workloads = list(workloads or workload_names())
+    sanitize = resolve_sanitize(sanitize)
+    specs = []
     for name in workloads:
-        from repro.persist import make_scheme
-        from repro.sim.machine import Machine
-        from repro.workloads import get_workload
-
         config = default_config(quick)
         params = default_params(quick)
-        undo = run_once(name, "asap", config, params)
-        machine = Machine(default_config(quick), make_scheme("asap_redo"))
-        get_workload(name, params).install(machine)
-        redo = machine.run()
-        result.add_row(
-            name,
-            **{
-                "redo throughput": redo.throughput / undo.throughput,
-                "redo traffic": redo.pm_writes / max(1, undo.pm_writes),
-                "redirected reads": float(machine.scheme.reads_redirected),
-            },
+        specs.append(
+            RunSpec(
+                key=(name, "undo"),
+                workload=name,
+                scheme="asap",
+                config=config,
+                params=params,
+                sanitize=sanitize,
+            )
         )
-    result.geomean_row()
-    return result
+        specs.append(
+            RunSpec(
+                key=(name, "redo"),
+                workload=name,
+                scheme="asap_redo",
+                config=config,
+                params=params,
+                sanitize=sanitize,
+                extras=(("reads_redirected", "scheme.reads_redirected"),),
+            )
+        )
+
+    def assemble(cells) -> ExperimentResult:
+        result = ExperimentResult(
+            exp_id="Ext. 1",
+            title="Asynchronous commit: undo (paper) vs redo (Fig. 2c variant), "
+            "normalized to undo-ASAP",
+            columns=["redo throughput", "redo traffic", "redirected reads"],
+            notes="the paper predicts undo >= redo once commits are "
+            "asynchronous (Sec. 3): redo pays read redirection and final-value "
+            "re-logging, and its in-place updates are less eager",
+        )
+        for name in workloads:
+            undo = cells[(name, "undo")].result
+            redo_cell = cells[(name, "redo")]
+            redo = redo_cell.result
+            result.add_row(
+                name,
+                **{
+                    "redo throughput": redo.throughput / undo.throughput,
+                    "redo traffic": redo.pm_writes / max(1, undo.pm_writes),
+                    "redirected reads": float(redo_cell.extras["reads_redirected"]),
+                },
+            )
+        result.geomean_row()
+        return result
+
+    return Plan(specs, assemble)
+
+
+def run(
+    quick: bool = True,
+    workloads=None,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+    sanitize=None,
+) -> ExperimentResult:
+    return plan(quick, workloads, sanitize).execute(
+        jobs=jobs, cache=cache, progress=progress
+    )

@@ -8,36 +8,68 @@ reports geomeans of 0.58x for "DPO Only" and 0.31x for "LPO & DPO".
 from __future__ import annotations
 
 from repro.harness.experiment import ExperimentResult
-from repro.harness.runner import default_config, default_params, run_once
+from repro.harness.parallel import Plan, RunSpec
+from repro.harness.runner import default_config, default_params, resolve_sanitize
 from repro.workloads import workload_names
 
 PAPER_GEOMEAN = {"DPO Only": 0.58, "LPO & DPO": 0.31}
 
 
-def run(quick: bool = True, workloads=None) -> ExperimentResult:
-    workloads = workloads or workload_names()
-    result = ExperimentResult(
-        exp_id="Fig. 1",
-        title="Overhead of LPOs and DPOs in a software approach "
-        "(throughput normalized to NP, higher is better)",
-        columns=["NP", "DPO Only", "LPO & DPO"],
-        paper={"GeoMean": PAPER_GEOMEAN},
-        notes="paper numbers measured on a real Xeon server; ours on the "
-        "simulator - shapes, not absolutes, are comparable",
-    )
+def plan(quick: bool = True, workloads=None, sanitize=None) -> Plan:
+    workloads = list(workloads or workload_names())
+    sanitize = resolve_sanitize(sanitize)
+    specs = []
     for name in workloads:
         config = default_config(quick)
         params = default_params(quick)
-        np_res = run_once(name, "np", config, params)
-        dpo = run_once(name, "sw_dpo_only", config, params)
-        full = run_once(name, "sw", config, params)
-        result.add_row(
-            name,
-            **{
-                "NP": 1.0,
-                "DPO Only": dpo.throughput / np_res.throughput,
-                "LPO & DPO": full.throughput / np_res.throughput,
-            },
+        for scheme in ("np", "sw_dpo_only", "sw"):
+            specs.append(
+                RunSpec(
+                    key=(name, scheme),
+                    workload=name,
+                    scheme=scheme,
+                    config=config,
+                    params=params,
+                    sanitize=sanitize,
+                )
+            )
+
+    def assemble(cells) -> ExperimentResult:
+        result = ExperimentResult(
+            exp_id="Fig. 1",
+            title="Overhead of LPOs and DPOs in a software approach "
+            "(throughput normalized to NP, higher is better)",
+            columns=["NP", "DPO Only", "LPO & DPO"],
+            paper={"GeoMean": PAPER_GEOMEAN},
+            notes="paper numbers measured on a real Xeon server; ours on the "
+            "simulator - shapes, not absolutes, are comparable",
         )
-    result.geomean_row()
-    return result
+        for name in workloads:
+            np_res = cells[(name, "np")].result
+            dpo = cells[(name, "sw_dpo_only")].result
+            full = cells[(name, "sw")].result
+            result.add_row(
+                name,
+                **{
+                    "NP": 1.0,
+                    "DPO Only": dpo.throughput / np_res.throughput,
+                    "LPO & DPO": full.throughput / np_res.throughput,
+                },
+            )
+        result.geomean_row()
+        return result
+
+    return Plan(specs, assemble)
+
+
+def run(
+    quick: bool = True,
+    workloads=None,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+    sanitize=None,
+) -> ExperimentResult:
+    return plan(quick, workloads, sanitize).execute(
+        jobs=jobs, cache=cache, progress=progress
+    )

@@ -12,35 +12,67 @@ overtakes it at high latency.
 from __future__ import annotations
 
 from repro.harness.experiment import ExperimentResult
-from repro.harness.runner import default_config, default_params, run_once
+from repro.harness.parallel import Plan, RunSpec
+from repro.harness.runner import default_config, default_params, resolve_sanitize
 from repro.workloads import workload_names
 
 MULTIPLIERS = [1, 2, 4, 16]
 SCHEMES = [("ASAP", "asap"), ("HWUndo", "hwundo"), ("HWRedo", "hwredo")]
 
 
-def run(quick: bool = True, workloads=None, multipliers=None) -> ExperimentResult:
-    workloads = workloads or workload_names()
-    multipliers = multipliers or MULTIPLIERS
-    columns = [
-        f"{label}@{m}x" for m in multipliers for label, _ in SCHEMES
-    ]
-    result = ExperimentResult(
-        exp_id="Fig. 10",
-        title="Throughput normalized to NP vs PM latency (higher is better)",
-        columns=columns,
-        notes="paper shape: ASAP tracks NP; HWUndo degrades fastest; "
-        "HWRedo crosses over HWUndo at high latency",
-    )
+def plan(quick: bool = True, workloads=None, multipliers=None, sanitize=None) -> Plan:
+    workloads = list(workloads or workload_names())
+    multipliers = list(multipliers or MULTIPLIERS)
+    sanitize = resolve_sanitize(sanitize)
+    specs = []
     for name in workloads:
-        cells = {}
         for m in multipliers:
             config = default_config(quick, pm_latency_multiplier=m)
             params = default_params(quick)
-            np_res = run_once(name, "np", config, params)
-            for label, scheme in SCHEMES:
-                res = run_once(name, scheme, config, params)
-                cells[f"{label}@{m}x"] = res.throughput / np_res.throughput
-        result.add_row(name, **cells)
-    result.geomean_row()
-    return result
+            for label, scheme in [("NP", "np")] + SCHEMES:
+                specs.append(
+                    RunSpec(
+                        key=(name, m, label),
+                        workload=name,
+                        scheme=scheme,
+                        config=config,
+                        params=params,
+                        sanitize=sanitize,
+                    )
+                )
+
+    def assemble(cells) -> ExperimentResult:
+        columns = [f"{label}@{m}x" for m in multipliers for label, _ in SCHEMES]
+        result = ExperimentResult(
+            exp_id="Fig. 10",
+            title="Throughput normalized to NP vs PM latency (higher is better)",
+            columns=columns,
+            notes="paper shape: ASAP tracks NP; HWUndo degrades fastest; "
+            "HWRedo crosses over HWUndo at high latency",
+        )
+        for name in workloads:
+            row = {}
+            for m in multipliers:
+                np_res = cells[(name, m, "NP")].result
+                for label, _ in SCHEMES:
+                    res = cells[(name, m, label)].result
+                    row[f"{label}@{m}x"] = res.throughput / np_res.throughput
+            result.add_row(name, **row)
+        result.geomean_row()
+        return result
+
+    return Plan(specs, assemble)
+
+
+def run(
+    quick: bool = True,
+    workloads=None,
+    multipliers=None,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+    sanitize=None,
+) -> ExperimentResult:
+    return plan(quick, workloads, multipliers, sanitize).execute(
+        jobs=jobs, cache=cache, progress=progress
+    )

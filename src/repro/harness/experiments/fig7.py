@@ -10,7 +10,8 @@ HWUndo 1.60x, ASAP 2.25x, NP 2.34x (i.e. NP is only 1.04x over ASAP).
 from __future__ import annotations
 
 from repro.harness.experiment import ExperimentResult
-from repro.harness.runner import default_config, default_params, run_once
+from repro.harness.parallel import Plan, RunSpec
+from repro.harness.runner import default_config, default_params, resolve_sanitize
 from repro.workloads import workload_names
 
 PAPER_GEOMEAN = {"HWRedo": 1.49, "HWUndo": 1.60, "ASAP": 2.25, "NP": 2.34}
@@ -19,24 +20,56 @@ SCHEMES = [("HWRedo", "hwredo"), ("HWUndo", "hwundo"), ("ASAP", "asap"), ("NP", 
 SIZES = [64, 2048]
 
 
-def run(quick: bool = True, workloads=None, sizes=None) -> ExperimentResult:
-    workloads = workloads or workload_names()
-    sizes = sizes or SIZES
-    result = ExperimentResult(
-        exp_id="Fig. 7",
-        title="Speedup over SW (higher is better)",
-        columns=["SW"] + [label for label, _ in SCHEMES],
-        paper={"GeoMean": PAPER_GEOMEAN},
-    )
+def plan(quick: bool = True, workloads=None, sizes=None, sanitize=None) -> Plan:
+    workloads = list(workloads or workload_names())
+    sizes = list(sizes or SIZES)
+    sanitize = resolve_sanitize(sanitize)
+    specs = []
     for name in workloads:
         for size in sizes:
             config = default_config(quick)
             params = default_params(quick, value_bytes=size)
-            sw = run_once(name, "sw", config, params)
-            cells = {"SW": 1.0}
-            for label, scheme in SCHEMES:
-                res = run_once(name, scheme, config, params)
-                cells[label] = res.speedup_over(sw)
-            result.add_row(f"{name}/{size}B", **cells)
-    result.geomean_row()
-    return result
+            for label, scheme in [("SW", "sw")] + SCHEMES:
+                specs.append(
+                    RunSpec(
+                        key=(name, size, label),
+                        workload=name,
+                        scheme=scheme,
+                        config=config,
+                        params=params,
+                        sanitize=sanitize,
+                    )
+                )
+
+    def assemble(cells) -> ExperimentResult:
+        result = ExperimentResult(
+            exp_id="Fig. 7",
+            title="Speedup over SW (higher is better)",
+            columns=["SW"] + [label for label, _ in SCHEMES],
+            paper={"GeoMean": PAPER_GEOMEAN},
+        )
+        for name in workloads:
+            for size in sizes:
+                sw = cells[(name, size, "SW")].result
+                row = {"SW": 1.0}
+                for label, _ in SCHEMES:
+                    row[label] = cells[(name, size, label)].result.speedup_over(sw)
+                result.add_row(f"{name}/{size}B", **row)
+        result.geomean_row()
+        return result
+
+    return Plan(specs, assemble)
+
+
+def run(
+    quick: bool = True,
+    workloads=None,
+    sizes=None,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+    sanitize=None,
+) -> ExperimentResult:
+    return plan(quick, workloads, sizes, sanitize).execute(
+        jobs=jobs, cache=cache, progress=progress
+    )

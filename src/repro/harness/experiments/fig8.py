@@ -10,7 +10,8 @@ Paper geomeans: HWRedo 1.69x, HWUndo 1.61x, ASAP 1.08x (NP = 1).
 from __future__ import annotations
 
 from repro.harness.experiment import ExperimentResult
-from repro.harness.runner import default_config, default_params, run_once
+from repro.harness.parallel import Plan, RunSpec
+from repro.harness.runner import default_config, default_params, resolve_sanitize
 from repro.workloads import workload_names
 
 PAPER_GEOMEAN = {"HWRedo": 1.69, "HWUndo": 1.61, "ASAP": 1.08}
@@ -19,24 +20,57 @@ SCHEMES = [("SW", "sw"), ("HWRedo", "hwredo"), ("HWUndo", "hwundo"), ("ASAP", "a
 SIZES = [64, 2048]
 
 
-def run(quick: bool = True, workloads=None, sizes=None) -> ExperimentResult:
-    workloads = workloads or workload_names()
-    sizes = sizes or SIZES
-    result = ExperimentResult(
-        exp_id="Fig. 8",
-        title="Cycles per atomic region normalized to NP (lower is better)",
-        columns=[label for label, _ in SCHEMES] + ["NP"],
-        paper={"GeoMean": PAPER_GEOMEAN},
-    )
+def plan(quick: bool = True, workloads=None, sizes=None, sanitize=None) -> Plan:
+    workloads = list(workloads or workload_names())
+    sizes = list(sizes or SIZES)
+    sanitize = resolve_sanitize(sanitize)
+    specs = []
     for name in workloads:
         for size in sizes:
             config = default_config(quick)
             params = default_params(quick, value_bytes=size)
-            np_res = run_once(name, "np", config, params)
-            cells = {"NP": 1.0}
-            for label, scheme in SCHEMES:
-                res = run_once(name, scheme, config, params)
-                cells[label] = res.cycles_per_region / np_res.cycles_per_region
-            result.add_row(f"{name}/{size}B", **cells)
-    result.geomean_row()
-    return result
+            for label, scheme in [("NP", "np")] + SCHEMES:
+                specs.append(
+                    RunSpec(
+                        key=(name, size, label),
+                        workload=name,
+                        scheme=scheme,
+                        config=config,
+                        params=params,
+                        sanitize=sanitize,
+                    )
+                )
+
+    def assemble(cells) -> ExperimentResult:
+        result = ExperimentResult(
+            exp_id="Fig. 8",
+            title="Cycles per atomic region normalized to NP (lower is better)",
+            columns=[label for label, _ in SCHEMES] + ["NP"],
+            paper={"GeoMean": PAPER_GEOMEAN},
+        )
+        for name in workloads:
+            for size in sizes:
+                np_res = cells[(name, size, "NP")].result
+                row = {"NP": 1.0}
+                for label, _ in SCHEMES:
+                    res = cells[(name, size, label)].result
+                    row[label] = res.cycles_per_region / np_res.cycles_per_region
+                result.add_row(f"{name}/{size}B", **row)
+        result.geomean_row()
+        return result
+
+    return Plan(specs, assemble)
+
+
+def run(
+    quick: bool = True,
+    workloads=None,
+    sizes=None,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+    sanitize=None,
+) -> ExperimentResult:
+    return plan(quick, workloads, sizes, sanitize).execute(
+        jobs=jobs, cache=cache, progress=progress
+    )

@@ -12,7 +12,8 @@ is better; full ASAP = 1.0 by construction):
 from __future__ import annotations
 
 from repro.harness.experiment import ExperimentResult
-from repro.harness.runner import default_config, default_params, run_once
+from repro.harness.parallel import Plan, RunSpec
+from repro.harness.runner import default_config, default_params, resolve_sanitize
 from repro.workloads import workload_names
 
 ABLATIONS = [
@@ -26,23 +27,55 @@ ABLATIONS = [
 PAPER_INCREMENTS = {"+C over No-Opt": 0.08, "+LP over +C": 0.33, "+DP over +C+LP": 0.31}
 
 
-def run(quick: bool = True, workloads=None) -> ExperimentResult:
-    workloads = workloads or workload_names()
-    result = ExperimentResult(
-        exp_id="Fig. 9a",
-        title="ASAP traffic-optimization ablation "
-        "(PM write traffic normalized to full ASAP, lower is better)",
-        columns=[label for label, _ in ABLATIONS],
-        paper={"successive reduction": PAPER_INCREMENTS},
-    )
+def plan(quick: bool = True, workloads=None, sanitize=None) -> Plan:
+    workloads = list(workloads or workload_names())
+    sanitize = resolve_sanitize(sanitize)
+    specs = []
     for name in workloads:
         params = default_params(quick)
-        cells = {}
         for label, ablation in ABLATIONS:
             config = default_config(quick)
             config = config.with_asap(config.asap.ablation(ablation))
-            cells[label] = run_once(name, "asap", config, params).pm_writes
-        full = cells["ASAP"] or 1
-        result.add_row(name, **{k: v / full for k, v in cells.items()})
-    result.geomean_row()
-    return result
+            specs.append(
+                RunSpec(
+                    key=(name, label),
+                    workload=name,
+                    scheme="asap",
+                    config=config,
+                    params=params,
+                    sanitize=sanitize,
+                )
+            )
+
+    def assemble(cells) -> ExperimentResult:
+        result = ExperimentResult(
+            exp_id="Fig. 9a",
+            title="ASAP traffic-optimization ablation "
+            "(PM write traffic normalized to full ASAP, lower is better)",
+            columns=[label for label, _ in ABLATIONS],
+            paper={"successive reduction": PAPER_INCREMENTS},
+        )
+        for name in workloads:
+            traffic = {
+                label: cells[(name, label)].result.pm_writes
+                for label, _ in ABLATIONS
+            }
+            full = traffic["ASAP"] or 1
+            result.add_row(name, **{k: v / full for k, v in traffic.items()})
+        result.geomean_row()
+        return result
+
+    return Plan(specs, assemble)
+
+
+def run(
+    quick: bool = True,
+    workloads=None,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+    sanitize=None,
+) -> ExperimentResult:
+    return plan(quick, workloads, sanitize).execute(
+        jobs=jobs, cache=cache, progress=progress
+    )

@@ -9,7 +9,8 @@ about SW 2.56, HWRedo 1.61, HWUndo 1.92.
 from __future__ import annotations
 
 from repro.harness.experiment import ExperimentResult
-from repro.harness.runner import default_config, default_params, run_once
+from repro.harness.parallel import Plan, RunSpec
+from repro.harness.runner import default_config, default_params, resolve_sanitize
 from repro.workloads import workload_names
 
 PAPER_GEOMEAN = {"SW": 1 / 0.39, "HWRedo": 1 / 0.62, "HWUndo": 1 / 0.52, "ASAP": 1.0}
@@ -17,22 +18,53 @@ PAPER_GEOMEAN = {"SW": 1 / 0.39, "HWRedo": 1 / 0.62, "HWUndo": 1 / 0.52, "ASAP":
 SCHEMES = [("SW", "sw"), ("HWRedo", "hwredo"), ("HWUndo", "hwundo"), ("ASAP", "asap")]
 
 
-def run(quick: bool = True, workloads=None) -> ExperimentResult:
-    workloads = workloads or workload_names()
-    result = ExperimentResult(
-        exp_id="Fig. 9b",
-        title="PM write traffic normalized to ASAP (lower is better)",
-        columns=[label for label, _ in SCHEMES],
-        paper={"GeoMean": {k: round(v, 2) for k, v in PAPER_GEOMEAN.items()}},
-    )
+def plan(quick: bool = True, workloads=None, sanitize=None) -> Plan:
+    workloads = list(workloads or workload_names())
+    sanitize = resolve_sanitize(sanitize)
+    specs = []
     for name in workloads:
         config = default_config(quick)
         params = default_params(quick)
-        traffic = {
-            label: run_once(name, scheme, config, params).pm_writes
-            for label, scheme in SCHEMES
-        }
-        asap = traffic["ASAP"] or 1
-        result.add_row(name, **{k: v / asap for k, v in traffic.items()})
-    result.geomean_row()
-    return result
+        for label, scheme in SCHEMES:
+            specs.append(
+                RunSpec(
+                    key=(name, label),
+                    workload=name,
+                    scheme=scheme,
+                    config=config,
+                    params=params,
+                    sanitize=sanitize,
+                )
+            )
+
+    def assemble(cells) -> ExperimentResult:
+        result = ExperimentResult(
+            exp_id="Fig. 9b",
+            title="PM write traffic normalized to ASAP (lower is better)",
+            columns=[label for label, _ in SCHEMES],
+            paper={"GeoMean": {k: round(v, 2) for k, v in PAPER_GEOMEAN.items()}},
+        )
+        for name in workloads:
+            traffic = {
+                label: cells[(name, label)].result.pm_writes
+                for label, _ in SCHEMES
+            }
+            asap = traffic["ASAP"] or 1
+            result.add_row(name, **{k: v / asap for k, v in traffic.items()})
+        result.geomean_row()
+        return result
+
+    return Plan(specs, assemble)
+
+
+def run(
+    quick: bool = True,
+    workloads=None,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+    sanitize=None,
+) -> ExperimentResult:
+    return plan(quick, workloads, sanitize).execute(
+        jobs=jobs, cache=cache, progress=progress
+    )

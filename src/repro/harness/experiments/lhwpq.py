@@ -9,7 +9,8 @@ metadata structures.
 from __future__ import annotations
 
 from repro.harness.experiment import ExperimentResult
-from repro.harness.runner import default_config, default_params, run_once
+from repro.harness.parallel import Plan, RunSpec
+from repro.harness.runner import default_config, default_params, resolve_sanitize
 from repro.workloads import workload_names
 
 PAPER = {
@@ -19,34 +20,67 @@ PAPER = {
 }
 
 
-def run(quick: bool = True, workloads=None) -> ExperimentResult:
-    workloads = workloads or workload_names()
-    result = ExperimentResult(
-        exp_id="Sec. 7.4",
-        title="Sensitivity to LH-WPQ size (throughput ratios)",
-        columns=["ASAP16/ASAP128", "ASAP16/HWUndo", "ASAP16/HWRedo"],
-        paper={"paper": PAPER},
-    )
+def plan(quick: bool = True, workloads=None, sanitize=None) -> Plan:
+    workloads = list(workloads or workload_names())
+    sanitize = resolve_sanitize(sanitize)
+    specs = []
     for name in workloads:
         params = default_params(quick)
-        big = run_once(name, "asap", default_config(quick), params)
-        small = run_once(
-            name, "asap", default_config(quick, lh_wpq_entries=1), params
+        cells = [
+            ("big", "asap", default_config(quick)),
+            ("small", "asap", default_config(quick, lh_wpq_entries=1)),
+            ("hwundo", "hwundo", default_config(quick)),
+            ("hwredo", "hwredo", default_config(quick)),
+        ]
+        for label, scheme, config in cells:
+            specs.append(
+                RunSpec(
+                    key=(name, label),
+                    workload=name,
+                    scheme=scheme,
+                    config=config,
+                    params=params,
+                    sanitize=sanitize,
+                )
+            )
+
+    def assemble(cells) -> ExperimentResult:
+        result = ExperimentResult(
+            exp_id="Sec. 7.4",
+            title="Sensitivity to LH-WPQ size (throughput ratios)",
+            columns=["ASAP16/ASAP128", "ASAP16/HWUndo", "ASAP16/HWRedo"],
+            paper={"paper": PAPER},
+            notes="quick mode shrinks the small LH-WPQ to 1 entry/channel so "
+            "the structural stall appears within short runs (the full "
+            "Table 2 machine uses 16 vs 128)",
         )
-        hwundo = run_once(name, "hwundo", default_config(quick), params)
-        hwredo = run_once(name, "hwredo", default_config(quick), params)
-        result.add_row(
-            name,
-            **{
-                "ASAP16/ASAP128": small.throughput / big.throughput,
-                "ASAP16/HWUndo": small.throughput / hwundo.throughput,
-                "ASAP16/HWRedo": small.throughput / hwredo.throughput,
-            },
-        )
-    result.geomean_row()
-    result.notes = (
-        "quick mode shrinks the small LH-WPQ to 1 entry/channel so the "
-        "structural stall appears within short runs (the full Table 2 "
-        "machine uses 16 vs 128)"
+        for name in workloads:
+            big = cells[(name, "big")].result
+            small = cells[(name, "small")].result
+            hwundo = cells[(name, "hwundo")].result
+            hwredo = cells[(name, "hwredo")].result
+            result.add_row(
+                name,
+                **{
+                    "ASAP16/ASAP128": small.throughput / big.throughput,
+                    "ASAP16/HWUndo": small.throughput / hwundo.throughput,
+                    "ASAP16/HWRedo": small.throughput / hwredo.throughput,
+                },
+            )
+        result.geomean_row()
+        return result
+
+    return Plan(specs, assemble)
+
+
+def run(
+    quick: bool = True,
+    workloads=None,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+    sanitize=None,
+) -> ExperimentResult:
+    return plan(quick, workloads, sanitize).execute(
+        jobs=jobs, cache=cache, progress=progress
     )
-    return result

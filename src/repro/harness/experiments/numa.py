@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.harness.experiment import ExperimentResult
-from repro.harness.runner import default_config, default_params, run_once
+from repro.harness.parallel import Plan, RunSpec
+from repro.harness.runner import default_config, default_params, resolve_sanitize
 
 REMOTE_MULTIPLIERS = [1, 4, 16]
 SCHEMES = [("ASAP", "asap"), ("HWUndo", "hwundo"), ("HWRedo", "hwredo")]
@@ -33,28 +34,58 @@ def _numa_config(quick: bool, remote_multiplier: float):
     )
 
 
-def run(quick: bool = True, workloads=None) -> ExperimentResult:
-    workloads = workloads or ["BN", "HM", "Q"]
-    columns = [
-        f"{label}@{m}x" for m in REMOTE_MULTIPLIERS for label, _ in SCHEMES
-    ]
-    result = ExperimentResult(
-        exp_id="Ext. 2",
-        title="NUMA (Sec. 7.3): half the channels remote, persist latency "
-        "swept (throughput normalized to NP, higher is better)",
-        columns=columns,
-        notes="ASAP stays flat as the remote node slows; synchronous "
-        "persist waits cross the interconnect on every region",
-    )
+def plan(quick: bool = True, workloads=None, sanitize=None) -> Plan:
+    workloads = list(workloads or ["BN", "HM", "Q"])
+    sanitize = resolve_sanitize(sanitize)
     params = default_params(quick)
+    specs = []
     for name in workloads:
-        cells = {}
         for m in REMOTE_MULTIPLIERS:
             config = _numa_config(quick, m)
-            np_res = run_once(name, "np", config, params)
-            for label, scheme in SCHEMES:
-                res = run_once(name, scheme, config, params)
-                cells[f"{label}@{m}x"] = res.throughput / np_res.throughput
-        result.add_row(name, **cells)
-    result.geomean_row()
-    return result
+            for label, scheme in [("NP", "np")] + SCHEMES:
+                specs.append(
+                    RunSpec(
+                        key=(name, m, label),
+                        workload=name,
+                        scheme=scheme,
+                        config=config,
+                        params=params,
+                        sanitize=sanitize,
+                    )
+                )
+
+    def assemble(cells) -> ExperimentResult:
+        columns = [f"{label}@{m}x" for m in REMOTE_MULTIPLIERS for label, _ in SCHEMES]
+        result = ExperimentResult(
+            exp_id="Ext. 2",
+            title="NUMA (Sec. 7.3): half the channels remote, persist latency "
+            "swept (throughput normalized to NP, higher is better)",
+            columns=columns,
+            notes="ASAP stays flat as the remote node slows; synchronous "
+            "persist waits cross the interconnect on every region",
+        )
+        for name in workloads:
+            row = {}
+            for m in REMOTE_MULTIPLIERS:
+                np_res = cells[(name, m, "NP")].result
+                for label, _ in SCHEMES:
+                    res = cells[(name, m, label)].result
+                    row[f"{label}@{m}x"] = res.throughput / np_res.throughput
+            result.add_row(name, **row)
+        result.geomean_row()
+        return result
+
+    return Plan(specs, assemble)
+
+
+def run(
+    quick: bool = True,
+    workloads=None,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+    sanitize=None,
+) -> ExperimentResult:
+    return plan(quick, workloads, sanitize).execute(
+        jobs=jobs, cache=cache, progress=progress
+    )

@@ -1,0 +1,333 @@
+"""Parallel cell execution and content-addressed result caching.
+
+Every experiment in :mod:`repro.harness.experiments` is a matrix of
+independent (workload x scheme x size) simulation *cells*. Each module
+declares its matrix as a list of :class:`RunSpec` and an ``assemble``
+callback that turns the finished cells back into an
+:class:`~repro.harness.experiment.ExperimentResult` (see :class:`Plan`).
+
+:func:`execute` runs the cells - serially with ``jobs=1`` (bit-identical
+to the historical inline runner) or fanned out across a
+``ProcessPoolExecutor`` - and :class:`ResultCache` memoises finished
+cells on disk, keyed by the content hash of everything that determines a
+cell's outcome (workload, scheme, config, params, sanitize flag, package
+version, and a digest of the simulator sources). Because the cache is
+content-addressed, identical cells are shared *across* experiments:
+Fig. 7 and Fig. 8 both run ``HM/asap`` on the same machine and only pay
+for it once.
+
+Specs must be fully picklable: they cross the process boundary, and the
+sanitize flag travels inside each spec precisely because a module global
+set in the parent does not exist in the workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+import repro
+from repro.common.errors import ConfigError
+from repro.common.params import SystemConfig
+from repro.sim.stats import RunResult
+from repro.workloads import WorkloadParams
+
+#: progress callback: (cells finished, total cells, spec, its CellResult)
+ProgressFn = Callable[[int, int, "RunSpec", "CellResult"], None]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of an experiment's run matrix.
+
+    Two flavours:
+
+    * **workload specs** - ``workload`` (one Table 3 name, or a tuple of
+      names for co-run cells) plus ``scheme``/``config``/``params``; the
+      cell builds the machine via
+      :func:`repro.harness.runner.build_machine`.
+    * **builder specs** - ``builder`` names a module-level factory as
+      ``"package.module:callable"`` invoked with ``builder_kwargs``; used
+      by experiments that construct bespoke machines (the ablation
+      stress patterns). The factory must be importable from a worker
+      process, which is why it is carried by reference, not as a closure.
+
+    ``extras`` harvests scheme-internal counters the
+    :class:`~repro.sim.stats.RunResult` does not carry: each
+    ``(name, "attr.path")`` pair is resolved against the finished machine
+    (e.g. ``("dpos", "scheme.engine.stats.dpos_initiated")``) and lands
+    in :attr:`CellResult.extras`.
+    """
+
+    key: Tuple
+    workload: Union[str, Tuple[str, ...]] = ""
+    scheme: str = ""
+    config: Optional[SystemConfig] = None
+    params: Optional[WorkloadParams] = None
+    sanitize: bool = False
+    builder: str = ""
+    builder_kwargs: Tuple[Tuple[str, object], ...] = ()
+    extras: Tuple[Tuple[str, str], ...] = ()
+
+    def describe(self) -> str:
+        """Short human-readable cell label for progress output."""
+        if self.builder:
+            kwargs = ", ".join(f"{k}={v}" for k, v in self.builder_kwargs)
+            return f"{self.builder.rsplit(':', 1)[-1]}({kwargs})"
+        wl = (
+            "+".join(self.workload)
+            if isinstance(self.workload, tuple)
+            else self.workload
+        )
+        size = f"/{self.params.value_bytes}B" if self.params is not None else ""
+        return f"{wl}{size}:{self.scheme}"
+
+    def cache_token(self) -> str:
+        """Content hash of everything that determines this cell's result.
+
+        The ``key`` is deliberately *excluded*: it only names the cell
+        within one experiment, so identical cells hit the same cache
+        entry across experiments.
+        """
+        ident = (
+            repro.__version__,
+            simulator_fingerprint(),
+            self.workload,
+            self.scheme,
+            repr(self.config),
+            repr(self.params),
+            self.sanitize,
+            self.builder,
+            repr(self.builder_kwargs),
+            repr(self.extras),
+        )
+        return hashlib.sha256(repr(ident).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CellResult:
+    """One finished cell: the run's stats plus harvested extras."""
+
+    key: Tuple
+    result: RunResult
+    extras: Dict[str, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    #: True when this result came from the on-disk cache, not a fresh run
+    cached: bool = False
+
+
+_FINGERPRINT: Optional[str] = None
+
+
+def simulator_fingerprint() -> str:
+    """Digest of the simulator sources (everything under ``repro`` except
+    the harness layer). Any change to the machine model invalidates every
+    cached result; editing an experiment module does not - that is what
+    makes a warm-cache ``asap-repro all`` near-instant after touching one
+    experiment."""
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        pkg = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in os.walk(pkg):
+            dirnames[:] = sorted(
+                d
+                for d in dirnames
+                if d != "__pycache__" and not (dirpath == pkg and d == "harness")
+            )
+            for fname in sorted(filenames):
+                if not fname.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                digest.update(os.path.relpath(path, pkg).encode("utf-8"))
+                with open(path, "rb") as fh:
+                    digest.update(fh.read())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def _harvest(machine, path: str):
+    obj = machine
+    for part in path.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def run_cell(spec: RunSpec) -> CellResult:
+    """Execute one cell; runs in the parent (``jobs=1``) or a worker."""
+    from repro.harness import runner
+
+    start = time.perf_counter()
+    if spec.builder:
+        mod_name, _, fn_name = spec.builder.partition(":")
+        builder = getattr(importlib.import_module(mod_name), fn_name)
+        machine = builder(**dict(spec.builder_kwargs))
+    else:
+        machine = runner.build_machine(
+            spec.workload, spec.scheme, spec.config, spec.params
+        )
+    if spec.sanitize:
+        from repro.analysis.sanitizer import Sanitizer
+
+        Sanitizer().attach(machine)
+    result = machine.run()
+    extras = {name: _harvest(machine, path) for name, path in spec.extras}
+    return CellResult(
+        key=spec.key,
+        result=result,
+        extras=extras,
+        wall_seconds=time.perf_counter() - start,
+    )
+
+
+class ResultCache:
+    """Content-addressed on-disk cache of :class:`CellResult` pickles.
+
+    Entries live at ``<root>/<token[:2]>/<token>.pkl``; writes are atomic
+    (temp file + rename) so concurrent harness invocations can share a
+    cache directory. Unreadable or stale entries count as misses.
+    """
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(os.path.expanduser(root))
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def default_dir() -> str:
+        env = os.environ.get("ASAP_CACHE_DIR")
+        if env:
+            return env
+        xdg = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+            os.path.expanduser("~"), ".cache"
+        )
+        return os.path.join(xdg, "asap-repro")
+
+    def _path(self, token: str) -> str:
+        return os.path.join(self.root, token[:2], token + ".pkl")
+
+    def get(self, spec: RunSpec) -> Optional[CellResult]:
+        path = self._path(spec.cache_token())
+        try:
+            with open(path, "rb") as fh:
+                cell = pickle.load(fh)
+        except Exception:
+            # missing, corrupt, or pickled against moved/renamed classes -
+            # all equivalent to a miss; the cell is simply re-run
+            self.misses += 1
+            return None
+        if not isinstance(cell, CellResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        # the stored key belongs to whichever experiment filled the entry;
+        # re-label for the requesting spec
+        return CellResult(
+            key=spec.key,
+            result=cell.result,
+            extras=cell.extras,
+            wall_seconds=cell.wall_seconds,
+            cached=True,
+        )
+
+    def put(self, spec: RunSpec, cell: CellResult) -> None:
+        path = self._path(spec.cache_token())
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(cell, fh)
+            os.replace(tmp, path)
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def execute(
+    specs: Iterable[RunSpec],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressFn] = None,
+) -> Dict[Tuple, CellResult]:
+    """Run every spec; return ``{spec.key: CellResult}`` in spec order.
+
+    ``jobs=1`` runs cells serially in-process, in list order - the
+    historical behaviour. ``jobs>1`` fans uncached cells out across a
+    process pool; completion order is nondeterministic but the returned
+    mapping (and therefore everything assembled from it) is ordered by
+    the spec list, so results are identical for any job count.
+    """
+    specs = list(specs)
+    if len({s.key for s in specs}) != len(specs):
+        raise ConfigError("duplicate RunSpec keys in one experiment plan")
+    total = len(specs)
+    done = 0
+    results: Dict[Tuple, CellResult] = {}
+
+    def finish(spec: RunSpec, cell: CellResult) -> None:
+        nonlocal done
+        results[spec.key] = cell
+        done += 1
+        if progress is not None:
+            progress(done, total, spec, cell)
+
+    pending: List[RunSpec] = []
+    for spec in specs:
+        cell = cache.get(spec) if cache is not None else None
+        if cell is not None:
+            finish(spec, cell)
+        else:
+            pending.append(spec)
+
+    if jobs <= 1 or len(pending) <= 1:
+        for spec in pending:
+            cell = run_cell(spec)
+            if cache is not None:
+                cache.put(spec, cell)
+            finish(spec, cell)
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {pool.submit(run_cell, spec): spec for spec in pending}
+            for future in as_completed(futures):
+                spec = futures[future]
+                cell = future.result()
+                if cache is not None:
+                    cache.put(spec, cell)
+                finish(spec, cell)
+
+    return {spec.key: results[spec.key] for spec in specs}
+
+
+@dataclass
+class Plan:
+    """An experiment's declared run matrix plus its assembly step.
+
+    ``assemble`` receives the ``{key: CellResult}`` mapping produced by
+    :func:`execute` and returns the module's
+    :class:`~repro.harness.experiment.ExperimentResult` (or a list of
+    them). It runs in the parent process, so it may close over whatever
+    plan-time state it likes.
+    """
+
+    specs: List[RunSpec]
+    assemble: Callable[[Dict[Tuple, CellResult]], object]
+
+    def execute(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressFn] = None,
+    ):
+        return self.assemble(
+            execute(self.specs, jobs=jobs, cache=cache, progress=progress)
+        )

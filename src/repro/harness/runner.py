@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from repro.common.params import SystemConfig
 from repro.persist import make_scheme
@@ -10,16 +10,32 @@ from repro.sim.machine import Machine
 from repro.sim.stats import RunResult
 from repro.workloads import WorkloadParams, get_workload
 
-#: process-wide default for ``run_once(..., sanitize=None)``; the harness
-#: CLI's ``--sanitize`` flag flips this so every experiment run validates
-#: the WAL contract as it measures (see repro.analysis.sanitizer).
-SANITIZE_DEFAULT: bool = False
+#: process-local fallback for ``run_once(..., sanitize=None)``. This is a
+#: convenience shim only: experiment plans resolve it once (in the parent
+#: process) and carry the resolved flag on each
+#: :class:`~repro.harness.parallel.RunSpec`, because a module global set
+#: here does not propagate to ``--jobs N`` worker processes.
+_SANITIZE_DEFAULT: bool = False
 
 
 def set_sanitize_default(enabled: bool) -> None:
-    """Enable/disable the runtime invariant sanitizer for subsequent runs."""
-    global SANITIZE_DEFAULT
-    SANITIZE_DEFAULT = enabled
+    """Enable/disable the runtime invariant sanitizer for subsequent runs.
+
+    Thin shim over a process-local default; parallel execution relies on
+    the sanitize flag carried explicitly by each ``RunSpec``.
+    """
+    global _SANITIZE_DEFAULT
+    _SANITIZE_DEFAULT = enabled
+
+
+def sanitize_default() -> bool:
+    """The current process-local sanitize default."""
+    return _SANITIZE_DEFAULT
+
+
+def resolve_sanitize(sanitize: Optional[bool]) -> bool:
+    """Resolve a ``sanitize=None`` request against the process default."""
+    return sanitize_default() if sanitize is None else bool(sanitize)
 
 
 def default_config(
@@ -59,6 +75,24 @@ def default_params(quick: bool = True, value_bytes: int = 64) -> WorkloadParams:
     )
 
 
+def build_machine(
+    workload: Union[str, Sequence[str]],
+    scheme: str,
+    config: Optional[SystemConfig] = None,
+    params: Optional[WorkloadParams] = None,
+) -> Machine:
+    """Build a machine with one scheme and one (or several co-run)
+    workloads installed. Accepts a single Table 3 name or a sequence of
+    names (co-run experiments install several on disjoint heaps)."""
+    config = config or default_config()
+    params = params or default_params()
+    machine = Machine(config, make_scheme(scheme))
+    names = (workload,) if isinstance(workload, str) else tuple(workload)
+    for name in names:
+        get_workload(name, params).install(machine)
+    return machine
+
+
 def run_once(
     workload: str,
     scheme: str,
@@ -69,17 +103,15 @@ def run_once(
     """Build a machine, install one workload under one scheme, run it.
 
     Args:
-        sanitize: None follows :data:`SANITIZE_DEFAULT`; True attaches a
-            fresh raising :class:`~repro.analysis.Sanitizer`; a
-            ``Sanitizer`` instance is attached as-is (so callers can
-            collect violations instead of raising).
+        sanitize: None follows the process-local default (see
+            :func:`set_sanitize_default`); True attaches a fresh raising
+            :class:`~repro.analysis.Sanitizer`; a ``Sanitizer`` instance is
+            attached as-is (so callers can collect violations instead of
+            raising).
     """
-    config = config or default_config()
-    params = params or default_params()
-    machine = Machine(config, make_scheme(scheme))
-    get_workload(workload, params).install(machine)
+    machine = build_machine(workload, scheme, config, params)
     if sanitize is None:
-        sanitize = SANITIZE_DEFAULT
+        sanitize = sanitize_default()
     if sanitize:
         from repro.analysis.sanitizer import Sanitizer
 

@@ -157,10 +157,15 @@ class WritePendingQueue:
         if op.on_drain is not None:
             self._flush_pending += 1
             # A flush arriving mid-lazy-interval expedites the drain loop.
+            # The pending drain keeps its deadline if it is already sooner
+            # than one full service interval from now: rescheduling a
+            # nearly-elapsed lazy interval at write_service() would *delay*
+            # the drain, not expedite it.
             if self._draining and self._drain_event is not None:
+                remaining = self._drain_event.time - self._scheduler.now
                 self._drain_event.cancel()
                 self._drain_event = self._scheduler.after(
-                    self._write_service(), self._drain_one
+                    min(remaining, self._write_service()), self._drain_one
                 )
         self.accepted += 1
         self.peak_occupancy = max(self.peak_occupancy, len(self._entries))

@@ -19,6 +19,34 @@ def test_geomean():
     assert geomean([2, 0, 8]) == 4.0  # zeros skipped
 
 
+def test_geomean_row_surfaces_dropped_cells():
+    # a zero cell cannot enter the geomean; it is excluded but must be
+    # called out in notes, not silently inflate the aggregate
+    r = ExperimentResult("X", "t", columns=["a", "b"])
+    r.add_row("w1", a=2.0, b=1.0)
+    r.add_row("w2", a=0.0, b=4.0)
+    gm = r.geomean_row()
+    assert gm["a"] == pytest.approx(2.0)
+    assert gm["b"] == pytest.approx(2.0)
+    assert "w2:a" in r.notes and "non-positive" in r.notes
+    assert "w1" not in r.notes
+
+
+def test_geomean_row_appends_to_existing_notes():
+    r = ExperimentResult("X", "t", columns=["a"], notes="prior note")
+    r.add_row("w1", a=0.0)
+    r.geomean_row()
+    assert r.notes.startswith("prior note; ")
+    assert "w1:a" in r.notes
+
+
+def test_geomean_row_no_note_when_all_positive():
+    r = ExperimentResult("X", "t", columns=["a"])
+    r.add_row("w1", a=1.5)
+    r.geomean_row()
+    assert r.notes == ""
+
+
 def test_experiment_result_table_renders():
     r = ExperimentResult("X", "t", columns=["a", "b"])
     r.add_row("w1", a=1.0, b=2.0)
@@ -118,3 +146,28 @@ def test_summary_command(capsys):
     out = capsys.readouterr().out
     assert "headline claims" in out
     assert "area overhead" in out
+
+
+def test_summary_ratio_handles_zero_denominator():
+    # a quick run can yield a zero NP geomean; summary must print n/a
+    # instead of crashing with ZeroDivisionError
+    from repro.harness.cli import _ratio
+
+    assert _ratio(2.0, 0.0) == "n/a"
+    assert _ratio(2.0, 0) == "n/a"
+    assert _ratio(3.0, 2.0) == "1.50x"
+    assert _ratio(1, 0.52, "x NP") == "1.92x NP"
+
+
+def test_cli_jobs_and_cache_flags(tmp_path, capsys):
+    json1 = tmp_path / "j1.json"
+    json4 = tmp_path / "j4.json"
+    cache_dir = tmp_path / "cache"
+    args = ["fig7", "--workloads", "HM", "--no-progress", "--cache-dir", str(cache_dir)]
+    assert main(args + ["--jobs", "1", "--json", str(json1)]) == 0
+    capsys.readouterr()
+    assert main(args + ["--jobs", "2", "--json", str(json4)]) == 0
+    out = capsys.readouterr().out
+    # second invocation was fully cache-fed, and rows are byte-identical
+    assert "cells from cache" in out
+    assert json1.read_text() == json4.read_text()

@@ -122,6 +122,44 @@ def test_flush_waiter_expedites_lazy_drain():
     assert times == [10]  # full-rate because someone waits
 
 
+def test_flush_early_in_lazy_interval_expedites():
+    # head queued at t=0 drains lazily at t=100; a flush at t=2 expedites
+    # the head to t=2+10, then the flush op itself drains at t=22
+    s, img, q = make_wpq(capacity=8, service=10, watermark=4, lazy=10)
+    times = []
+    s.at(0, lambda: q.submit(op(line=PM)))
+    s.at(2, lambda: q.submit(op(line=PM + 64, on_drain=lambda o: times.append(s.now))))
+    s.run()
+    assert times == [22]
+
+
+def test_flush_late_in_lazy_interval_never_delays():
+    # The head's lazy drain is due at t=100. A flush arriving at t=95 must
+    # not push the head out to t=95+10: it keeps the sooner deadline
+    # (min(remaining, write_service)), so the head drains at t=100 and the
+    # flush op at t=110 - not t=105/t=115.
+    s, img, q = make_wpq(capacity=8, service=10, watermark=4, lazy=10)
+    times = []
+    s.at(0, lambda: q.submit(op(line=PM)))
+    s.at(95, lambda: q.submit(op(line=PM + 64, on_drain=lambda o: times.append(s.now))))
+    s.run()
+    assert times == [110]
+
+
+def test_drop_where_decrements_flush_pending():
+    s, img, q = make_wpq(capacity=8, service=10, watermark=4, lazy=10)
+    s.at(0, lambda: q.submit(op(line=PM, rid=1, on_drain=lambda o: None)))
+    s.at(0, lambda: q.submit(op(line=PM + 64, rid=2)))
+    s.run(until=1)
+    assert q._flush_pending == 1
+    assert q.drop_where(lambda o: o.rid == 1) == 1
+    assert q._flush_pending == 0
+    # the survivor still drains; nothing hangs on the retired flush waiter
+    s.run()
+    assert q.drained == 1
+    assert img.read_word(PM + 64) == 1
+
+
 def test_callable_payload_materialised_at_drain():
     s, img, q = make_wpq(service=10)
     box = {"v": 1}
