@@ -80,6 +80,12 @@ class MemoryParams:
     numa_remote_channels: tuple = ()
     #: latency multiplier applied to remote channels' persist path
     numa_remote_multiplier: float = 1.0
+    #: WPQ backpressure admits ops in arrival order and exposes them to
+    #: LPO/DPO dropping. False restores the pre-fix model in which a
+    #: backpressured persist op could be overtaken by later same-line ops
+    #: and escape dropping - the cross-thread commit-ordering hazard the
+    #: crash fuzzer demonstrates. Keep True outside regression tests.
+    wpq_fifo_backpressure: bool = True
 
     def __post_init__(self):
         if self.num_controllers <= 0 or self.channels_per_controller <= 0:

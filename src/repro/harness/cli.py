@@ -84,6 +84,15 @@ def _make_progress(exp_name: str, enabled: bool):
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fuzz":
+        # The fuzzer owns its flags (--seed/--budget/--points/...); hand
+        # the rest of the command line straight to it.
+        from repro.harness.fuzz import main as fuzz_main
+
+        return fuzz_main(list(argv[1:]))
+
     parser = argparse.ArgumentParser(
         prog="asap-repro",
         description="Regenerate the ASAP paper's tables and figures",
@@ -91,7 +100,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help=f"one of {sorted(REGISTRY)}, 'all', 'config', 'workloads', "
-        "'summary', or 'crashtest'",
+        "'summary', 'crashtest', or 'fuzz' (see 'fuzz --help')",
     )
     parser.add_argument(
         "--full",

@@ -32,6 +32,14 @@ class CrashTestReport:
     points_checked: int = 0
     points_with_rollback: int = 0
     regions_rolled_back: int = 0
+    #: total cycles of the deterministic reference run the points divide
+    total_cycles: int = 0
+    #: the exact crash cycles swept, in order - the report is a repro
+    #: recipe: ``crash_machine(m, at_cycle=c)`` for any listed ``c``
+    crash_cycles: List[int] = field(default_factory=list)
+    #: schedules exercised (the crashtest replays one deterministic
+    #: interleaving; the fuzzer varies this axis - see docs/FUZZING.md)
+    schedules_swept: int = 1
     failures: List[str] = field(default_factory=list)
 
     @property
@@ -40,9 +48,21 @@ class CrashTestReport:
 
     def summary(self) -> str:
         status = "CONSISTENT" if self.ok else f"{len(self.failures)} FAILURES"
+        if not self.crash_cycles:
+            span = "no crash points"
+        elif len(self.crash_cycles) <= 6:
+            span = f"cycles {self.crash_cycles}"
+        else:
+            head = ", ".join(str(c) for c in self.crash_cycles[:3])
+            span = (
+                f"cycles [{head}, ... {self.crash_cycles[-1]}] "
+                f"({len(self.crash_cycles)} points)"
+            )
         return (
             f"{self.workload}/{self.scheme}: {status} over "
-            f"{self.points_checked} crash points "
+            f"{self.points_checked} crash points at {span} of a "
+            f"{self.total_cycles}-cycle run, {self.schedules_swept} "
+            f"deterministic schedule "
             f"({self.points_with_rollback} caught in-flight regions, "
             f"{self.regions_rolled_back} regions rolled back in total)"
         )
@@ -67,8 +87,10 @@ def run_crashtest(
 
     report = CrashTestReport(workload=workload, scheme=scheme)
     total = build()[0].run().cycles
+    report.total_cycles = total
     for i in range(points):
         cycle = max(1, ((i + 1) * total) // (points + 1))
+        report.crash_cycles.append(cycle)
         machine, wl = build()
         state = crash_machine(machine, at_cycle=cycle)
         image, rec_report = recover(state)

@@ -1,0 +1,663 @@
+"""Interleaving-aware differential crash fuzzing (``asap-repro fuzz``).
+
+The crashtest sweep replays *one* deterministic schedule and varies only
+the crash point. That is blind to the bug class this module exists for:
+commit-ordering violations that need a particular thread interleaving x
+flush-timing corner to manifest (the cross-thread RMW hazard the property
+suite falsified on small WPQs hid exactly there). The fuzzer varies all
+three axes at once:
+
+* **schedules** - seeded random multi-thread region programs over a small
+  shared array, with per-op ``Compute`` jitter that perturbs the
+  interleaving without changing the program's semantics;
+* **crash points** - a sweep of crash cycles per schedule, each recovered
+  and differentially checked against the commit oracle's durable image;
+* **stress configs** - tiny WPQs (1..16 entries) and both log flavours
+  (``asap`` undo and ``asap_redo``), where backpressure and drop/coalesce
+  decisions are forced to interact.
+
+Every run is checked two ways (the "differential" part): the no-crash run
+must leave PM exactly equal to the oracle's folded committed image, and
+every crash point must recover to the oracle's durable image and satisfy
+the workload validators.
+
+Failures are automatically **shrunk** - greedy delta debugging over
+threads, regions, ops, values, and jitter - to a minimal case printed as
+an ``@example(threads=...)`` line pasteable straight onto the property
+tests, and serialisable as JSON into the regression corpus under
+``tests/property/corpus/`` which the property suite replays forever after
+(see docs/FUZZING.md).
+
+Determinism: the same ``--seed`` and ``--budget`` always generate and
+execute the same runs, so a failure report is a repro recipe.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.params import SystemConfig
+from repro.persist import make_scheme
+from repro.recovery import crash_machine, recover, verify_recovery
+from repro.sim.machine import Machine
+from repro.sim.ops import Begin, Compute, End, Lock, Read, Unlock, Write
+
+#: shared-array size (lines); matches the property-test strategies so a
+#: shrunk case pastes onto them unchanged
+NUM_LINES = 12
+
+#: ops are (line index, read-first flag, value) - a read-first op is a
+#: cross-thread-visible RMW (read the owner's value, XOR, write back)
+FuzzOp = Tuple[int, bool, int]
+
+SCHEMES = ("asap", "asap_redo")
+
+
+@dataclass
+class FuzzCase:
+    """One generated schedule plus the machine configuration it runs on."""
+
+    scheme: str
+    threads: List[List[List[FuzzOp]]]
+    wpq_entries: int = 4
+    #: per-thread cycle delays consumed one per executed op (Compute
+    #: jitter); exhausted lists mean no further delays
+    jitter: List[List[int]] = field(default_factory=list)
+    #: False replays the pre-fix WPQ backpressure model (regression/
+    #: shrinker self-tests only)
+    fifo_backpressure: bool = True
+
+    # -- serialisation (the corpus format) ---------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "threads": self.threads,
+            "wpq_entries": self.wpq_entries,
+            "jitter": self.jitter,
+            "fifo_backpressure": self.fifo_backpressure,
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "FuzzCase":
+        return FuzzCase(
+            scheme=data["scheme"],
+            threads=[
+                [[tuple(op) for op in region] for region in thread]
+                for thread in data["threads"]
+            ],
+            wpq_entries=data.get("wpq_entries", 4),
+            jitter=[list(j) for j in data.get("jitter", [])],
+            fifo_backpressure=data.get("fifo_backpressure", True),
+        )
+
+    # -- shrinking helpers -------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Shrink metric (lexicographic): ops dominate, then thread count,
+        then op complexity (RMWs, nonzero values), then jitter mass - so
+        every shrinker transformation strictly decreases it."""
+        ops = rmws = values = 0
+        for t in self.threads:
+            for r in t:
+                for _line, rmw, value in r:
+                    ops += 1
+                    rmws += bool(rmw)
+                    values += bool(value)
+        jit = sum(1 for j in self.jitter for d in j if d)
+        return ops * 1000 + len(self.threads) * 50 + rmws * 10 + values * 2 + jit
+
+    def example_line(self) -> str:
+        """A pasteable ``@example(...)`` for the scheme's property test."""
+        test = (
+            "tests/property/test_prop_recovery.py"
+            if self.scheme == "asap"
+            else "tests/property/test_prop_redo.py"
+        )
+        note = ""
+        if any(d for j in self.jitter for d in j):
+            note = (
+                "  # NOTE: original failure also needed Compute jitter "
+                f"{self.jitter}; replay via the corpus if the pin passes"
+            )
+        return f"@example(threads={self.threads!r})  # pin on {test}{note}"
+
+
+def build_machine(case: FuzzCase) -> Machine:
+    """Instantiate the case's program on the case's machine config."""
+    config = SystemConfig.small(wpq_entries=case.wpq_entries)
+    if not case.fifo_backpressure:
+        config = dc_replace(
+            config,
+            memory=dc_replace(config.memory, wpq_fifo_backpressure=False),
+        )
+    m = Machine(config, make_scheme(case.scheme))
+    base = m.heap.alloc(64 * NUM_LINES)
+    lock = m.new_lock()
+
+    def worker(env, regions, delays):
+        remaining = list(delays)
+
+        def pause():
+            if remaining:
+                d = remaining.pop(0)
+                if d:
+                    return Compute(d)
+            return None
+
+        for region in regions:
+            yield Lock(lock)
+            yield Begin()
+            for line_idx, read_first, value in region:
+                p = pause()
+                if p is not None:
+                    yield p
+                addr = base + 64 * line_idx
+                if read_first:
+                    (v,) = yield Read(addr, 1)
+                    yield Write(addr, [v ^ value])
+                else:
+                    yield Write(addr, [value])
+            yield End()
+            yield Unlock(lock)
+
+    for tidx, regions in enumerate(case.threads):
+        delays = case.jitter[tidx] if tidx < len(case.jitter) else []
+        m.spawn(lambda env, r=regions, d=delays: worker(env, r, d))
+    return m
+
+
+# -- checks (the differential oracle) --------------------------------------
+
+
+def check_no_crash(case: FuzzCase) -> List[str]:
+    """Run to completion; PM must equal the oracle's committed image."""
+    m = build_machine(case)
+    m.run()
+    failures: List[str] = []
+    uncommitted = m.oracle.uncommitted_rids()
+    if case.scheme == "asap" and uncommitted:
+        failures.append(f"regions never committed: {uncommitted}")
+    mismatches = m.oracle.mismatches(m.pm_image)
+    if mismatches:
+        failures.append(f"committed values missing from PM: {mismatches[:4]}")
+    return failures
+
+
+def check_crash(case: FuzzCase, at_cycle: int) -> List[str]:
+    """Crash at ``at_cycle``; recovery must match the oracle's image."""
+    m = build_machine(case)
+    state = crash_machine(m, at_cycle=at_cycle)
+    image, _report = recover(state)
+    image2, _ = recover(state)
+    failures: List[str] = []
+    verdict = verify_recovery(m, image)
+    if not verdict.ok:
+        failures.append(f"@{at_cycle}: {verdict.explain()}")
+    if sorted(image.items()) != sorted(image2.items()):
+        failures.append(f"@{at_cycle}: recovery nondeterministic")
+    return failures
+
+
+def case_failures(case: FuzzCase, crash_points: int = 0) -> List[str]:
+    """All checks for one case: no-crash plus an optional crash sweep."""
+    failures = list(check_no_crash(case))
+    if crash_points > 0:
+        total = build_machine(case).run().cycles
+        for i in range(crash_points):
+            cycle = max(1, ((i + 1) * total) // (crash_points + 1))
+            failures.extend(check_crash(case, cycle))
+    return failures
+
+
+# -- generation ------------------------------------------------------------
+
+
+def generate_case(seed: int, index: int, scheme: str) -> FuzzCase:
+    """Deterministically generate case ``index`` of stream ``seed``."""
+    rng = random.Random(f"asap-fuzz:{seed}:{index}:{scheme}")
+    num_threads = rng.randint(1, 3)
+    # Contention bias: commit-ordering hazards need threads to collide on
+    # lines, so most cases confine themselves to a small slice of the
+    # array. Values are biased tiny so a lost committed write shows up as
+    # a crisp 1-vs-0 mismatch rather than noise.
+    span = rng.choice((3, 5, 8, NUM_LINES))
+    threads: List[List[List[FuzzOp]]] = []
+    jitter: List[List[int]] = []
+    for _ in range(num_threads):
+        regions: List[List[FuzzOp]] = []
+        for _ in range(rng.randint(1, 5)):
+            region: List[FuzzOp] = []
+            for _ in range(rng.randint(1, 4)):
+                region.append(
+                    (
+                        rng.randrange(span),
+                        rng.random() < 0.35,  # RMWs are the hard case
+                        rng.choice((0, 0, 1, rng.randrange(2**20))),
+                    )
+                )
+            regions.append(region)
+        threads.append(regions)
+        nops = sum(len(r) for r in regions)
+        jitter.append([rng.choice((0, 0, 5, 17, 60, 240)) for _ in range(nops)])
+    return FuzzCase(
+        scheme=scheme,
+        threads=threads,
+        wpq_entries=rng.choice((1, 2, 3, 4, 8, 16)),
+        jitter=jitter,
+    )
+
+
+def mutate_case(
+    base: FuzzCase, rng: random.Random, scheme: Optional[str] = None
+) -> FuzzCase:
+    """Corpus-seeded mutation: small structured edits of a known case.
+
+    Pure random generation almost never lands in the tiny schedule-space
+    pockets where commit-ordering hazards live (the ROADMAP bug sat in a
+    ~0.2%-of-schedules corner), but *neighbourhoods* of historical
+    failures are dense with them - measured >50% of single-op mutations
+    of the original failing schedule still failed pre-fix. So the fuzzer
+    spends part of its budget mutating regression-corpus entries and any
+    failures found this campaign, AFL-style.
+    """
+    threads = [[list(region) for region in thread] for thread in base.threads]
+    jitter = [list(j) for j in base.jitter]
+    for _ in range(rng.randint(1, 3)):
+        kind = rng.randrange(6)
+        t = rng.randrange(len(threads))
+        r = rng.randrange(len(threads[t]))
+        if kind == 0:  # retarget an op's line
+            o = rng.randrange(len(threads[t][r]))
+            line, rmw, v = threads[t][r][o]
+            threads[t][r][o] = (rng.randrange(NUM_LINES), rmw, v)
+        elif kind == 1:  # perturb a value
+            o = rng.randrange(len(threads[t][r]))
+            line, rmw, _v = threads[t][r][o]
+            threads[t][r][o] = (line, rmw, rng.choice((0, 1, rng.randrange(2**20))))
+        elif kind == 2:  # toggle RMW-ness
+            o = rng.randrange(len(threads[t][r]))
+            line, rmw, v = threads[t][r][o]
+            threads[t][r][o] = (line, not rmw, v)
+        elif kind == 3:  # grow: append a plain write
+            threads[t][r].append((rng.randrange(NUM_LINES), False, 0))
+        elif kind == 4 and len(threads[t][r]) > 1:  # drop an op
+            del threads[t][r][rng.randrange(len(threads[t][r]))]
+        else:  # jiggle the interleaving
+            while len(jitter) <= t:
+                jitter.append([])
+            nops = sum(len(rg) for rg in threads[t])
+            while len(jitter[t]) < nops:
+                jitter[t].append(0)
+            if jitter[t]:
+                jitter[t][rng.randrange(len(jitter[t]))] = rng.choice(
+                    (0, 5, 17, 60, 240)
+                )
+    return FuzzCase(
+        scheme=scheme or base.scheme,
+        threads=threads,
+        wpq_entries=rng.choice((base.wpq_entries, base.wpq_entries, 2, 3, 4, 8)),
+        jitter=jitter,
+        fifo_backpressure=base.fifo_backpressure,
+    )
+
+
+# -- shrinking -------------------------------------------------------------
+
+
+def shrink_case(
+    case: FuzzCase,
+    still_fails: Callable[[FuzzCase], bool],
+    max_attempts: int = 400,
+) -> FuzzCase:
+    """Greedy delta debugging toward a minimal still-failing case.
+
+    Tries, to a fixed point or an attempt budget: dropping whole threads,
+    whole regions, single ops; zeroing op values; demoting RMWs to plain
+    writes; and clearing jitter. Deterministic: candidates are tried in a
+    fixed order and the first improvement restarts the scan.
+    """
+    attempts = 0
+
+    def accept(candidate: FuzzCase) -> bool:
+        nonlocal attempts
+        if attempts >= max_attempts:
+            return False
+        if not candidate.threads or not any(candidate.threads):
+            return False
+        attempts += 1
+        return candidate.size < best.size and still_fails(candidate)
+
+    best = case
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        # 1. drop a whole thread (and its jitter)
+        for i in range(len(best.threads)):
+            cand = dc_replace(
+                best,
+                threads=best.threads[:i] + best.threads[i + 1:],
+                jitter=[j for k, j in enumerate(best.jitter) if k != i],
+            )
+            if accept(cand):
+                best, improved = cand, True
+                break
+        if improved:
+            continue
+        # 2. drop a whole region
+        for t in range(len(best.threads)):
+            for r in range(len(best.threads[t])):
+                threads = [list(th) for th in best.threads]
+                del threads[t][r]
+                if not threads[t]:
+                    del threads[t]
+                cand = dc_replace(best, threads=threads)
+                if accept(cand):
+                    best, improved = cand, True
+                    break
+            if improved:
+                break
+        if improved:
+            continue
+        # 3. drop a single op
+        for t in range(len(best.threads)):
+            for r in range(len(best.threads[t])):
+                for o in range(len(best.threads[t][r])):
+                    threads = [[list(rg) for rg in th] for th in best.threads]
+                    del threads[t][r][o]
+                    if not threads[t][r]:
+                        del threads[t][r]
+                    if not threads[t]:
+                        del threads[t]
+                    cand = dc_replace(best, threads=threads)
+                    if accept(cand):
+                        best, improved = cand, True
+                        break
+                if improved:
+                    break
+            if improved:
+                break
+        if improved:
+            continue
+        # 4. simplify ops in place: demote RMW to plain write, zero value
+        for t in range(len(best.threads)):
+            for r in range(len(best.threads[t])):
+                for o, (line, rmw, value) in enumerate(best.threads[t][r]):
+                    for simpler in (
+                        (line, False, value) if rmw else None,
+                        (line, rmw, 0) if value else None,
+                    ):
+                        if simpler is None:
+                            continue
+                        threads = [[list(rg) for rg in th] for th in best.threads]
+                        threads[t][r][o] = simpler
+                        cand = dc_replace(best, threads=threads)
+                        if accept(cand):
+                            best, improved = cand, True
+                            break
+                    if improved:
+                        break
+                if improved:
+                    break
+            if improved:
+                break
+        if improved:
+            continue
+        # 5. clear jitter wholesale, then entry by entry
+        if any(d for j in best.jitter for d in j):
+            cand = dc_replace(best, jitter=[])
+            if accept(cand):
+                best, improved = cand, True
+                continue
+            for t in range(len(best.jitter)):
+                for i, d in enumerate(best.jitter[t]):
+                    if not d:
+                        continue
+                    jitter = [list(j) for j in best.jitter]
+                    jitter[t][i] = 0
+                    cand = dc_replace(best, jitter=jitter)
+                    if accept(cand):
+                        best, improved = cand, True
+                        break
+                if improved:
+                    break
+    return best
+
+
+# -- the campaign ----------------------------------------------------------
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing campaign (deterministic per seed+budget)."""
+
+    seed: int
+    budget: int
+    runs: int = 0
+    cases: int = 0
+    crash_points_checked: int = 0
+    schemes: List[str] = field(default_factory=list)
+    wpq_sizes: List[int] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+    failing_cases: List[FuzzCase] = field(default_factory=list)
+    shrunk_cases: List[FuzzCase] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "CLEAN" if self.ok else f"{len(self.failures)} FAILURES"
+        wpqs = ",".join(str(w) for w in sorted(set(self.wpq_sizes))) or "-"
+        return (
+            f"fuzz seed={self.seed}: {status} over {self.runs} runs "
+            f"({self.cases} schedules x [no-crash + "
+            f"{self.crash_points_checked} crash points], schemes "
+            f"{'/'.join(sorted(set(self.schemes))) or '-'}, "
+            f"WPQ sizes {{{wpqs}}})"
+        )
+
+
+def run_fuzz(
+    seed: int = 0,
+    budget: int = 240,
+    crash_points: int = 3,
+    schemes: Tuple[str, ...] = SCHEMES,
+    shrink: bool = True,
+    fifo_backpressure: bool = True,
+    corpus: Optional[List[FuzzCase]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run a fuzzing campaign of ``budget`` schedule x crash-point runs.
+
+    Each generated schedule costs ``1 + crash_points`` runs (the no-crash
+    differential check plus the crash sweep). Schemes round-robin so a
+    small budget still covers both log flavours. About a third of the
+    budget mutates ``corpus`` entries and this campaign's own failures
+    (see :func:`mutate_case`); the rest is fresh random generation. The
+    whole campaign is deterministic in ``seed`` and ``budget``.
+    """
+    report = FuzzReport(seed=seed, budget=budget)
+    corpus = list(corpus or [])
+    index = 0
+    while report.runs < budget:
+        scheme = schemes[index % len(schemes)]
+        rng = random.Random(f"asap-fuzz:{seed}:{index}:{scheme}:pick")
+        pool = [
+            c
+            for c in corpus + report.failing_cases
+            if c.scheme == scheme or len(schemes) == 1
+        ]
+        if pool and rng.random() < 0.35:
+            case = mutate_case(rng.choice(pool), rng, scheme=scheme)
+        else:
+            case = generate_case(seed, index, scheme)
+        if not fifo_backpressure:
+            case = dc_replace(case, fifo_backpressure=False)
+        index += 1
+        report.cases += 1
+        report.schemes.append(scheme)
+        report.wpq_sizes.append(case.wpq_entries)
+
+        failures = check_no_crash(case)
+        report.runs += 1
+        crashed_failures: List[str] = []
+        if not failures and crash_points > 0:
+            total = build_machine(case).run().cycles
+            for i in range(crash_points):
+                if report.runs >= budget and report.cases > 1:
+                    break
+                cycle = max(1, ((i + 1) * total) // (crash_points + 1))
+                crashed_failures.extend(check_crash(case, cycle))
+                report.runs += 1
+                report.crash_points_checked += 1
+        failures.extend(crashed_failures)
+
+        if failures:
+            report.failures.append(
+                f"case {index - 1} ({scheme}, wpq={case.wpq_entries}): "
+                + "; ".join(failures[:3])
+            )
+            report.failing_cases.append(case)
+            if progress:
+                progress(f"FAIL {report.failures[-1]}")
+            if shrink:
+                minimal = shrink_case(
+                    case, lambda c: bool(case_failures(c, crash_points=0))
+                )
+                if not case_failures(minimal, crash_points=0):
+                    # shrank against the no-crash check but the failure was
+                    # crash-only: shrink against the full sweep instead
+                    minimal = shrink_case(
+                        case,
+                        lambda c: bool(case_failures(c, crash_points=crash_points)),
+                    )
+                report.shrunk_cases.append(minimal)
+                if progress:
+                    progress(f"shrunk to: {minimal.example_line()}")
+        elif progress and report.cases % 20 == 0:
+            progress(
+                f"{report.runs}/{budget} runs, {report.cases} schedules, clean"
+            )
+    return report
+
+
+# -- corpus ----------------------------------------------------------------
+
+
+def save_corpus_entry(case: FuzzCase, path: str, description: str = "") -> None:
+    """Write a failing (shrunk) case as a corpus JSON file."""
+    entry = case.to_json()
+    entry["description"] = description or "fuzzer-found failure (shrunk)"
+    entry["example"] = case.example_line()
+    with open(path, "w") as fh:
+        json.dump(entry, fh, indent=2)
+        fh.write("\n")
+
+
+def load_corpus_entry(path: str) -> Tuple[FuzzCase, dict]:
+    with open(path) as fh:
+        data = json.load(fh)
+    return FuzzCase.from_json(data), data
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="asap-repro fuzz",
+        description="Interleaving-aware differential crash fuzzing",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="PRNG stream id")
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=240,
+        help="total schedule x crash-point runs (default 240)",
+    )
+    parser.add_argument(
+        "--points",
+        type=int,
+        default=3,
+        help="crash points swept per schedule (default 3)",
+    )
+    parser.add_argument(
+        "--scheme",
+        choices=["asap", "asap_redo", "both"],
+        default="both",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures without delta-debugging them",
+    )
+    parser.add_argument(
+        "--legacy-backpressure",
+        action="store_true",
+        help="fuzz the pre-fix WPQ backpressure model (expects failures; "
+        "kept for shrinker demos and regression archaeology)",
+    )
+    parser.add_argument(
+        "--save-failures",
+        metavar="DIR",
+        default=None,
+        help="write each shrunk failing case as corpus JSON into DIR",
+    )
+    parser.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default=None,
+        help="seed mutations from the corpus JSON files in DIR "
+        "(typically tests/property/corpus)",
+    )
+    args = parser.parse_args(argv)
+
+    corpus_cases: List[FuzzCase] = []
+    if args.corpus:
+        import glob
+        import os
+
+        for path in sorted(glob.glob(os.path.join(args.corpus, "*.json"))):
+            case, _meta = load_corpus_entry(path)
+            # corpus entries may pin the legacy model; fuzz the current one
+            corpus_cases.append(dc_replace(case, fifo_backpressure=True))
+
+    schemes = SCHEMES if args.scheme == "both" else (args.scheme,)
+    report = run_fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        crash_points=args.points,
+        schemes=schemes,
+        shrink=not args.no_shrink,
+        fifo_backpressure=not args.legacy_backpressure,
+        corpus=corpus_cases,
+        progress=lambda msg: print(f"  {msg}", file=sys.stderr, flush=True),
+    )
+    print(report.summary())
+    for case in report.shrunk_cases:
+        print(f"  minimal repro: {case.example_line()}")
+    if args.save_failures and report.shrunk_cases:
+        import os
+
+        os.makedirs(args.save_failures, exist_ok=True)
+        for i, case in enumerate(report.shrunk_cases):
+            path = os.path.join(
+                args.save_failures, f"fuzz-seed{args.seed}-fail{i}.json"
+            )
+            save_corpus_entry(case, path)
+            print(f"  wrote {path}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -60,6 +60,7 @@ class Channel:
             on_drain=self._count_drain,
             drain_watermark=timing.mem.wpq_drain_watermark,
             lazy_drain_multiplier=timing.mem.wpq_lazy_drain_multiplier,
+            fifo_backpressure=timing.mem.wpq_fifo_backpressure,
         )
 
     def _count_drain(self, op: PersistOp) -> None:
@@ -126,11 +127,13 @@ class MemorySystem:
         return sum(ch.wpq.drop_where(predicate) for ch in self.channels)
 
     def queued_dpo_for(self, data_line: int) -> Optional[PersistOp]:
-        """Find a queued DPO/WB whose target is ``data_line`` (DPO dropping)."""
+        """Find an in-flight DPO/WB whose target is ``data_line`` (DPO
+        dropping) - queued in the WPQ or still backpressured behind it."""
         channel = self.channel_for_line(data_line)
-        for op in channel.wpq.queued_ops():
-            if op.kind in (DPO, WB) and op.target_line == data_line:
-                return op
+        for ops in (channel.wpq.queued_ops(), channel.wpq.pending_ops()):
+            for op in ops:
+                if op.kind in (DPO, WB) and op.target_line == data_line:
+                    return op
         return None
 
     # -- crash -------------------------------------------------------------

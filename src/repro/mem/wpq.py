@@ -11,14 +11,25 @@ Entry removal before drain ("dropping") implements two of ASAP's traffic
 optimizations (Sec. 5.1): LPO dropping (the region committed, its log is no
 longer needed) and DPO dropping (a later region's LPO carries the same
 bytes).
+
+Backpressure preserves arrival order: ops submitted while the queue is full
+wait in an explicit FIFO submission queue and are admitted oldest-first as
+entries drain. A memory controller never reorders same-address writes, and
+ASAP's commit ordering relies on that - if a later region's DPO could be
+accepted ahead of an earlier region's backpressured DPO for the same line,
+the stale payload would drain last and silently overwrite the committed
+value (the cross-thread RMW hazard the property suite falsified on small
+WPQs). For the same reason ``drop_where`` covers the submission queue too:
+a backpressured DPO holds exactly the bytes a newly accepted LPO just
+logged, so it is as superseded as a queued one.
 """
 
 from __future__ import annotations
 
 import itertools
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Deque, Dict, Optional
 
 from repro.common.errors import SimulationError
 from repro.common.observe import SimObserver
@@ -91,6 +102,7 @@ class WritePendingQueue:
         on_drain: Optional[Callable[[PersistOp], None]] = None,
         drain_watermark: int = 0,
         lazy_drain_multiplier: int = 1,
+        fifo_backpressure: bool = True,
     ):
         """
         Args:
@@ -103,6 +115,12 @@ class WritePendingQueue:
                 writes behind reads - entries drain lazily (every
                 ``write_service * lazy_drain_multiplier`` cycles) and thus
                 linger long enough for LPO/DPO dropping to find them.
+            fifo_backpressure: admit backpressured ops in arrival order and
+                expose them to ``drop_where``. False restores the pre-fix
+                behaviour (parked ops may be overtaken by later submissions
+                and are invisible to dropping) - kept only so the fuzzer
+                and regression tests can demonstrate the commit-ordering
+                hazard that behaviour caused.
         """
         if capacity <= 0:
             raise SimulationError("WPQ capacity must be positive")
@@ -114,10 +132,15 @@ class WritePendingQueue:
         self._on_drain = on_drain
         self._drain_watermark = max(0, min(drain_watermark, capacity - 1))
         self._lazy_multiplier = max(1, lazy_drain_multiplier)
+        self._fifo_backpressure = fifo_backpressure
         #: queued entries someone is waiting to drain (a pending flush
         #: forces full-rate draining - fences push writes through)
         self._flush_pending = 0
         self._entries: "OrderedDict[int, PersistOp]" = OrderedDict()
+        #: backpressured ops awaiting admission, in arrival order (the
+        #: MC-side submission queue; not yet in the persistence domain)
+        self._pending: Deque[PersistOp] = deque()
+        #: legacy (non-FIFO) backpressure path only
         self._backpressure = WaitQueue(scheduler)
         self._draining = False
         self._drain_event = None
@@ -127,6 +150,7 @@ class WritePendingQueue:
         self.accepted = 0
         self.drained = 0
         self.dropped = 0
+        self.dropped_pending = 0
         self.peak_occupancy = 0
 
     # -- occupancy ---------------------------------------------------------
@@ -138,18 +162,38 @@ class WritePendingQueue:
     def full(self) -> bool:
         return len(self._entries) >= self.capacity
 
+    @property
+    def pending_count(self) -> int:
+        """Backpressured ops awaiting admission (outside the ADR domain)."""
+        return len(self._pending)
+
     # -- submission --------------------------------------------------------
 
     def submit(self, op: PersistOp) -> None:
         """Submit ``op``; accepts now or after backpressure clears.
 
         ``op.on_complete`` fires at acceptance time (persist-op completion
-        per the ADR persistence-domain rule).
+        per the ADR persistence-domain rule). Admission is strictly in
+        submission order: an op arriving while earlier ops are still
+        backpressured queues behind them, never ahead.
         """
-        if not self.full:
-            self._accept(op)
+        if not self._fifo_backpressure:
+            # Legacy mode: closures park on a wait queue; a submission that
+            # races a freed slot can overtake them (the ordering bug).
+            if not self.full:
+                self._accept(op)
+            else:
+                self._backpressure.park(lambda: self.submit(op))
+            return
+        if self.full or self._pending:
+            self._pending.append(op)
         else:
-            self._backpressure.park(lambda: self.submit(op))
+            self._accept(op)
+
+    def _admit_pending(self) -> None:
+        """Move backpressured ops into freed entries, oldest first."""
+        while self._pending and not self.full:
+            self._accept(self._pending.popleft())
 
     def _accept(self, op: PersistOp) -> None:
         op.accepted_at = self._scheduler.now
@@ -209,16 +253,23 @@ class WritePendingQueue:
             self._flush_pending -= 1
             cb, op.on_drain = op.on_drain, None
             cb(op)
+        self._admit_pending()
         self._backpressure.wake_one()
         self._ensure_draining()
 
     # -- dropping ----------------------------------------------------------
 
     def drop_where(self, predicate: Callable[[PersistOp], bool]) -> int:
-        """Remove queued entries matching ``predicate`` (before drain).
+        """Remove matching ops before they reach PM - queued *and*
+        backpressured.
 
-        Returns the number of entries dropped. Freed slots wake
-        backpressured submitters.
+        A backpressured victim never entered the persistence domain, so its
+        ``on_complete`` fires here: dropping means the op's bytes are
+        superseded or covered elsewhere (a later LPO logged them, or the
+        region committed), and whoever is waiting on acceptance must treat
+        the obligation as discharged, exactly as if the op had been
+        accepted and then dropped. Returns the total number dropped; freed
+        entries admit backpressured submitters in arrival order.
         """
         victims = [op_id for op_id, op in self._entries.items() if predicate(op)]
         for op_id in victims:
@@ -233,12 +284,39 @@ class WritePendingQueue:
                 self._flush_pending -= 1
                 cb, op.on_drain = op.on_drain, None
                 cb(op)
-            self._backpressure.wake_one()
-        return len(victims)
+        dropped_pending = 0
+        if self._pending:
+            survivors: Deque[PersistOp] = deque()
+            for op in self._pending:
+                if not predicate(op):
+                    survivors.append(op)
+                    continue
+                op.dropped = True
+                self.dropped += 1
+                self.dropped_pending += 1
+                dropped_pending += 1
+                if self.observer is not None:
+                    self.observer.wpq_dropped(self, op)
+                if op.on_complete is not None:
+                    cb, op.on_complete = op.on_complete, None
+                    cb(op)
+                if op.on_drain is not None:
+                    cb, op.on_drain = op.on_drain, None
+                    cb(op)
+            self._pending = survivors
+        if victims:
+            self._admit_pending()
+            for _ in victims:
+                self._backpressure.wake_one()
+        return len(victims) + dropped_pending
 
     def queued_ops(self):
         """Iterate queued ops in FIFO order (oldest first)."""
         return iter(self._entries.values())
+
+    def pending_ops(self):
+        """Iterate backpressured (not yet accepted) ops, oldest first."""
+        return iter(self._pending)
 
     # -- crash -------------------------------------------------------------
 
@@ -247,7 +325,10 @@ class WritePendingQueue:
 
         Models ADR draining the WPQ on power failure. Returns the number of
         entries flushed. The queue is left empty; no callbacks fire (the
-        machine is dead).
+        machine is dead). Backpressured ops are *not* flushed: they never
+        entered the persistence domain, so their writes are lost with the
+        caches - which is safe precisely because their ``on_complete`` has
+        not fired and no one was told they persisted.
         """
         count = 0
         while self._entries:

@@ -55,7 +55,15 @@ MARKER = LOGHDR
 class _RedoRegion:
     """Commit-tracking state of one in-flight region."""
 
-    __slots__ = ("rid", "state", "outstanding_lpos", "lines", "rewritten", "values")
+    __slots__ = (
+        "rid",
+        "state",
+        "outstanding_lpos",
+        "lines",
+        "rewritten",
+        "values",
+        "committing",
+    )
 
     def __init__(self, rid: int):
         self.rid = rid
@@ -63,6 +71,9 @@ class _RedoRegion:
         self.outstanding_lpos = 0
         self.lines: Set[int] = set()
         self.rewritten: Set[int] = set()
+        #: True once the commit marker has been issued; the region stays in
+        #: its Dependence List until the marker is durably accepted
+        self.committing = False
         #: line -> the region's own logged words; the in-place update must
         #: install *these*, never the current cache line, which may hold a
         #: later uncommitted region's data (redo's no-force rule)
@@ -189,6 +200,8 @@ class AsapRedoLogging(PersistenceScheme):
     def _try_commit(self, region: _RedoRegion, thread: _RedoThread) -> None:
         if region.state is not RegionState.DONE or region.outstanding_lpos > 0:
             return
+        if region.committing:
+            return  # marker already in flight
         entry = self.dep_list_for(region.rid).entry(region.rid)
         if entry is None:
             return  # already committed
@@ -199,7 +212,15 @@ class AsapRedoLogging(PersistenceScheme):
 
     def _commit(self, region: _RedoRegion, thread: _RedoThread) -> None:
         rid = region.rid
-        self.dep_list_for(rid).remove_entry(rid)
+        # The Dependence List entry stays until the marker is *accepted*:
+        # the region is not committed while its marker can still be lost.
+        # Removing it here (the pre-fix behaviour) opened a window in which
+        # a successor region - same thread via CurRID, or another thread
+        # via an OwnerRID lookup - saw the region as already committed,
+        # skipped the dependence, and raced its own marker into a WPQ ahead
+        # of this one: commits (and hence the recovery replay order and the
+        # no-crash durable image) came out of dependence order.
+        region.committing = True
         self._commit_seq += 1
         seq = self._commit_seq
         marker_addr = thread.marker_base + (
@@ -208,6 +229,7 @@ class AsapRedoLogging(PersistenceScheme):
 
         def marker_accepted(_op) -> None:
             # Durable: recovery will replay this region from its log.
+            self.dep_list_for(rid).remove_entry(rid)
             self._notify_commit(rid)
             signal = thread.commit_signals.pop(rid, None)
             if signal is not None:
@@ -289,14 +311,17 @@ class AsapRedoLogging(PersistenceScheme):
             if not pm or region is None:
                 done()
                 return
-            self._capture_dependence(region, meta)
-            meta.owner_rid = region.rid
-            if line not in region.lines:
-                region.lines.add(line)
-                self._issue_lpo(thread, region, line)
-            else:
-                region.rewritten.add(line)
-            done()
+
+            def after_dep() -> None:
+                meta.owner_rid = region.rid
+                if line not in region.lines:
+                    region.lines.add(line)
+                    self._issue_lpo(thread, region, line)
+                else:
+                    region.rewritten.add(line)
+                done()
+
+            self._capture_dependence(region, meta, after_dep)
 
         self.machine.hierarchy.access(thread.core_id, addr, True, after_access)
 
@@ -306,31 +331,59 @@ class AsapRedoLogging(PersistenceScheme):
         redirect = region is not None and line in region.lines
 
         def after_access(meta) -> None:
+            def deliver() -> None:
+                values = [
+                    self.machine.volatile.read_word(addr + 8 * i)
+                    for i in range(nwords)
+                ]
+                if redirect:
+                    # reads of modified data are redirected to the log
+                    # (Sec. 2.3)
+                    self.reads_redirected += 1
+                    self.machine.scheduler.after(12, lambda: done(values))
+                else:
+                    done(values)
+
             if region is not None and self.machine.page_table.is_persistent(addr):
-                self._capture_dependence(region, meta)
-            values = [
-                self.machine.volatile.read_word(addr + 8 * i) for i in range(nwords)
-            ]
-            if redirect:
-                # reads of modified data are redirected to the log (Sec. 2.3)
-                self.reads_redirected += 1
-                self.machine.scheduler.after(12, lambda: done(values))
+                self._capture_dependence(region, meta, deliver)
             else:
-                done(values)
+                deliver()
 
         self.machine.hierarchy.access(thread.core_id, addr, False, after_access)
 
-    def _capture_dependence(self, region: _RedoRegion, meta) -> None:
+    def _capture_dependence(
+        self, region: _RedoRegion, meta, then: Callable[[], None]
+    ) -> None:
+        """Record a data dependence on the line's owner before proceeding.
+
+        Mirrors the undo engine: when every Dep slot is taken the access
+        *stalls* until a dependency commits and frees one. The pre-fix code
+        silently skipped the dependence instead - an unordered commit
+        waiting to happen whenever a region accumulated more than
+        ``dep_slots`` cross-region dependencies.
+        """
         owner = meta.owner_rid
         if owner is None or owner == region.rid:
+            then()
             return
         owner_dl = self.dep_list_for(owner)
         if not owner_dl.contains(owner):
             meta.owner_rid = None
+            then()
             return
-        entry = self.dep_list_for(region.rid).entry(region.rid)
-        if entry is not None and owner not in entry.deps and not entry.deps_full:
-            entry.deps.add(owner)
+        my_dl = self.dep_list_for(region.rid)
+        entry = my_dl.entry(region.rid)
+        if entry is None or owner in entry.deps:
+            then()
+            return
+        if entry.deps_full:
+            my_dl.dep_stalls += 1
+            my_dl.dep_waiters.park(
+                lambda: self._capture_dependence(region, meta, then)
+            )
+            return
+        entry.deps.add(owner)
+        then()
 
     def _issue_lpo(self, thread: _RedoThread, region: _RedoRegion, line: int) -> None:
         slot, entry_addr, record, _opened, sealed = thread.log.append(region.rid, line)

@@ -1,0 +1,37 @@
+"""Replay the fuzzer's regression corpus (tests/property/corpus/).
+
+Every JSON file in the corpus is a once-failing schedule, shrunk and
+committed when its bug was fixed. Each entry is replayed on the current
+code: the no-crash differential check plus a small crash-point sweep must
+be clean. Adding a file here is how a fuzzer find becomes a permanent
+regression test (docs/FUZZING.md describes the workflow).
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.harness.fuzz import case_failures, load_corpus_entry
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS_FILES, f"no corpus entries under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[os.path.basename(p) for p in CORPUS_FILES]
+)
+def test_corpus_entry_replays_clean(path):
+    case, meta = load_corpus_entry(path)
+    # corpus entries always replay against the *current* (fixed) model,
+    # even if saved from a legacy-mode campaign
+    case.fifo_backpressure = True
+    failures = case_failures(case, crash_points=3)
+    assert failures == [], (
+        f"{os.path.basename(path)} regressed: {failures}\n"
+        f"description: {meta.get('description', '?')}"
+    )

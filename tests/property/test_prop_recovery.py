@@ -7,7 +7,7 @@ atomic durability plus dependence-ordered commits, under any interleaving
 of LPOs, DPOs, drops, evictions, and structural stalls.
 """
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.common.params import SystemConfig
 from repro.persist import make_scheme
@@ -84,6 +84,20 @@ def test_recovery_consistent_at_any_crash_point(threads, crash_frac, wpq_entries
 
 @settings(max_examples=15, deadline=None)
 @given(threads=programs())
+# The cross-thread RMW commit-ordering bug fixed in mem/wpq.py (pinned
+# forever; see tests/property/corpus/undo-cross-thread-rmw-wpq4.json):
+# a backpressured stale DPO escaped DPO dropping, was overtaken by the
+# committed value's DPO, and drained last - PM lost the committed 1.
+@example(
+    threads=[
+        [
+            [(0, False, 0)],
+            [(1, False, 0), (3, False, 0)],
+            [(0, False, 0), (1, False, 0), (4, False, 0)],
+        ],
+        [[(0, False, 0), (2, False, 0)], [(6, False, 0)], [(4, True, 1)]],
+    ]
+)
 def test_no_crash_run_commits_everything(threads):
     m = build_machine(threads, wpq_entries=4)
     m.run()

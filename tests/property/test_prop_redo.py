@@ -6,7 +6,7 @@ completely different path (commit markers, replay-in-order, suppressed
 in-place writebacks), so it gets its own fuzzer.
 """
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.common.params import SystemConfig
 from repro.persist import make_scheme
@@ -83,6 +83,23 @@ def test_redo_recovery_consistent_at_any_crash_point(threads, crash_frac, wpq_en
 
 @settings(max_examples=10, deadline=None)
 @given(threads=programs())
+# The redo analog of the cross-thread commit-ordering bug (pinned forever;
+# see tests/property/corpus/redo-premature-dep-clear-wpq4.json): the
+# Dependence List entry was removed at marker *issue* instead of marker
+# *acceptance*, letting successors race their markers ahead of their
+# dependencies' - fixed in persist/asap_redo.py.
+@example(
+    threads=[
+        [
+            [(0, False, 0)],
+            [(0, False, 0)],
+            [(0, False, 0)],
+            [(0, False, 1), (1, False, 0), (3, False, 0), (5, False, 0)],
+            [(0, False, 0)],
+        ],
+        [[(2, False, 0), (4, False, 0)]],
+    ]
+)
 def test_redo_no_crash_run_is_durable(threads):
     m = build_machine(threads, wpq_entries=4)
     m.run()

@@ -173,3 +173,89 @@ def test_zero_capacity_rejected():
     s = Scheduler()
     with pytest.raises(SimulationError):
         WritePendingQueue("q", s, 0, lambda: 1, MemoryImage())
+
+
+# -- FIFO backpressure and pending-aware dropping (the ordering fix) --------
+
+
+def test_backpressured_ops_admitted_in_arrival_order():
+    # Five ops hit a 2-entry queue in one cycle; acceptances must follow
+    # submission order exactly, never the wake-up race of the legacy path.
+    s, img, q = make_wpq(capacity=2, service=10)
+    accepted = []
+    for i in range(5):
+        s.at(0, lambda i=i: q.submit(
+            op(line=PM + 64 * i, on_complete=lambda o, i=i: accepted.append(i))))
+    s.run()
+    assert accepted == [0, 1, 2, 3, 4]
+
+
+def test_late_submission_cannot_overtake_pending():
+    # An op submitted *after* the queue backed up must queue behind the
+    # pending op, even though a slot is free by the time it arrives: the
+    # same-line FIFO guarantee ASAP's commit ordering builds on.
+    s, img, q = make_wpq(capacity=1, service=10)
+    order = []
+    s.at(0, lambda: q.submit(op(line=PM, payload={PM: 1})))
+    s.at(0, lambda: q.submit(op(line=PM, payload={PM: 2},
+                                on_complete=lambda o: order.append("old"))))
+    s.at(5, lambda: q.submit(op(line=PM, payload={PM: 3},
+                                on_complete=lambda o: order.append("new"))))
+    s.run()
+    assert order == ["old", "new"]
+    assert img.read_word(PM) == 3  # the latest write lands last
+
+
+def test_drop_where_covers_pending_ops():
+    s, img, q = make_wpq(capacity=1, service=1000)
+    completed = []
+    s.at(0, lambda: q.submit(op(line=PM, rid=1)))
+    s.at(0, lambda: q.submit(op(line=PM + 64, rid=2,
+                                on_complete=lambda o: completed.append(2))))
+    s.run(until=2)
+    assert q.pending_count == 1
+    assert not completed  # still backpressured, not in the ADR domain
+    dropped = q.drop_where(lambda o: o.rid == 2)
+    assert dropped == 1
+    assert q.dropped_pending == 1
+    assert q.pending_count == 0
+    # the dropped pending op's obligation is discharged: on_complete fired
+    assert completed == [2]
+    s.run()
+    assert img.read_word(PM + 64) == 0  # its bytes never reach PM
+
+
+def test_drop_of_queued_entry_admits_pending():
+    s, img, q = make_wpq(capacity=1, service=1000)
+    accepted = []
+    s.at(0, lambda: q.submit(op(line=PM, rid=1)))
+    s.at(0, lambda: q.submit(op(line=PM + 64, rid=2,
+                                on_complete=lambda o: accepted.append(s.now))))
+    s.run(until=3)
+    q.drop_where(lambda o: o.rid == 1)
+    assert accepted == [3]  # admitted the moment the slot freed
+    assert len(q) == 1
+
+
+def test_pending_ops_not_flushed_on_crash():
+    s, img, q = make_wpq(capacity=1, service=1000)
+    s.at(0, lambda: q.submit(op(line=PM, payload={PM: 1})))
+    s.at(0, lambda: q.submit(op(line=PM + 64, payload={PM + 64: 2})))
+    s.run(until=2)
+    assert q.flush_to_pm() == 1  # only the accepted entry is in ADR
+    assert img.read_word(PM) == 1
+    assert img.read_word(PM + 64) == 0
+
+
+def test_legacy_backpressure_mode_still_available():
+    # The pre-fix model is kept behind a flag for the fuzzer's shrinker
+    # demos; it must park rather than queue, and hide pending ops.
+    s = Scheduler()
+    img = MemoryImage("pm")
+    q = WritePendingQueue("q", s, 1, lambda: 1000, img,
+                          fifo_backpressure=False)
+    s.at(0, lambda: q.submit(op(line=PM, rid=1)))
+    s.at(0, lambda: q.submit(op(line=PM + 64, rid=2)))
+    s.run(until=2)
+    assert q.pending_count == 0  # parked as a closure, invisible
+    assert q.drop_where(lambda o: o.rid == 2) == 0  # ...and undroppable
