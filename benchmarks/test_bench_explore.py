@@ -1,0 +1,32 @@
+"""Design-space exploration on the quick machine (docs/EXPLORE.md).
+
+Times a small 2x2 grid - LH-WPQ depth x Dependence List capacity - and
+asserts the qualitative shape: shrinking either structure costs
+throughput but saves area, so the frontier keeps more than one point
+unless one configuration strictly wins.
+"""
+
+from benchmarks.conftest import bench_jobs
+from repro.explore import GridDriver, analyze, explore, SweepSpace
+
+
+def test_explore_grid(benchmark, workloads, quick):
+    space = SweepSpace.build(
+        axes={"lh_wpq_entries": [1, 16], "dep_list_entries": [8, 64]},
+        workloads=workloads[:2] or ["HM"],
+        scheme="asap",
+    )
+    result = benchmark.pedantic(
+        lambda: explore(space, GridDriver(), quick=quick, jobs=bench_jobs()),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.outcomes) == 4
+    analysis = analyze(result)
+    assert analysis.frontier, "frontier can never be empty"
+    # area strictly grows with the structures, so the big-everything point
+    # is on the frontier only if it also has the best throughput
+    best = result.best()
+    assert best in analysis.frontier
+    benchmark.extra_info["frontier"] = len(analysis.frontier)
+    benchmark.extra_info["dominated"] = len(analysis.dominated)

@@ -18,7 +18,10 @@ Scaled-down configurations for tests and pytest benchmarks are provided by
 
 from __future__ import annotations
 
+import dataclasses
+import difflib
 from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Tuple
 
 from repro.common.address import AddressSpace
 from repro.common.errors import ConfigError
@@ -243,3 +246,147 @@ class SystemConfig:
     def with_asap(self, asap: AsapParams) -> "SystemConfig":
         """Return a copy with different ASAP structure parameters."""
         return replace(self, asap=asap)
+
+
+# -- sweepable axes ----------------------------------------------------------
+#
+# The design-space exploration subsystem (:mod:`repro.explore`) names
+# configuration fields as *axes*. The registry below is derived from the
+# real dataclasses, so an axis name that drifts from the parameter
+# definitions fails at sweep-construction time, not after hours of runs.
+
+#: evaluation shorthand accepted by sweep specs -> canonical "group.field"
+AXIS_ALIASES: Dict[str, str] = {
+    "dep_list_entries": "asap.dependence_list_entries",
+    "pm_write_latency": "memory.pm_write_service",
+    "bloom_bits": "asap.bloom_filter_bits",
+    "cores": "system.num_cores",
+    "threads": "workload.num_threads",
+}
+
+
+@dataclass(frozen=True)
+class AxisTarget:
+    """One sweepable configuration field."""
+
+    name: str  # canonical "group.field" path
+    group: str  # "asap" | "memory" | "core" | "workload" | "system"
+    field: str  # attribute on the group's dataclass
+    kind: type  # int, float, or bool
+    default: object  # the dataclass default (documentation + baselines)
+
+
+_AXIS_REGISTRY: Dict[str, AxisTarget] = {}
+
+
+def _scalar_fields(cls, group: str, defaults) -> Dict[str, AxisTarget]:
+    out = {}
+    for f in dataclasses.fields(cls):
+        default = getattr(defaults, f.name)
+        if type(default) not in (int, float, bool):
+            continue
+        name = f"{group}.{f.name}"
+        out[name] = AxisTarget(
+            name=name,
+            group=group,
+            field=f.name,
+            kind=type(default),
+            default=default,
+        )
+    return out
+
+
+def sweepable_axes() -> Dict[str, AxisTarget]:
+    """Canonical axis name -> :class:`AxisTarget`, for every scalar field of
+    :class:`AsapParams`, :class:`MemoryParams`, :class:`CoreParams`,
+    ``WorkloadParams``, plus ``system.num_cores``. Tuple- and object-valued
+    fields (NUMA channel sets, the address space) are not sweepable."""
+    if not _AXIS_REGISTRY:
+        # WorkloadParams lives in repro.workloads.base, which imports the
+        # simulator (and hence this module); resolve it lazily.
+        from repro.workloads.base import WorkloadParams
+
+        _AXIS_REGISTRY.update(_scalar_fields(AsapParams, "asap", AsapParams()))
+        _AXIS_REGISTRY.update(_scalar_fields(MemoryParams, "memory", MemoryParams()))
+        _AXIS_REGISTRY.update(_scalar_fields(CoreParams, "core", CoreParams()))
+        _AXIS_REGISTRY.update(
+            _scalar_fields(WorkloadParams, "workload", WorkloadParams())
+        )
+        _AXIS_REGISTRY["system.num_cores"] = AxisTarget(
+            name="system.num_cores",
+            group="system",
+            field="num_cores",
+            kind=int,
+            default=SystemConfig.__dataclass_fields__["num_cores"].default,
+        )
+    return _AXIS_REGISTRY
+
+
+def resolve_axis(name: str) -> AxisTarget:
+    """Resolve an axis name - canonical ``group.field``, a bare field name
+    (when unambiguous), or an :data:`AXIS_ALIASES` shorthand - to its
+    target. Unknown or ambiguous names raise :class:`ConfigError` naming
+    the nearest valid axes, so a sweep-spec typo fails fast."""
+    registry = sweepable_axes()
+    if name in registry:
+        return registry[name]
+    if name in AXIS_ALIASES:
+        return registry[AXIS_ALIASES[name]]
+    bare = [t for t in registry.values() if t.field == name]
+    if len(bare) == 1:
+        return bare[0]
+    if len(bare) > 1:
+        raise ConfigError(
+            f"ambiguous axis {name!r}: could be "
+            + " or ".join(sorted(t.name for t in bare))
+        )
+    candidates = sorted(set(registry) | set(AXIS_ALIASES))
+    near = difflib.get_close_matches(name, candidates, n=3, cutoff=0.5)
+    hint = f"; did you mean {', '.join(near)}?" if near else ""
+    raise ConfigError(f"unknown axis {name!r}{hint}")
+
+
+def apply_axis_values(
+    config: "SystemConfig",
+    params,
+    values: Mapping[str, object],
+) -> Tuple["SystemConfig", object]:
+    """Return ``(config, params)`` copies with the given axis values applied.
+
+    Keys are resolved through :func:`resolve_axis`; the rebuilt dataclasses
+    re-run their ``__post_init__`` validation, so an out-of-range value
+    (``lh_wpq_entries=0``) raises :class:`ConfigError` immediately.
+    """
+    by_group: Dict[str, Dict[str, object]] = {}
+    for name, value in values.items():
+        target = resolve_axis(name)
+        if isinstance(value, bool):
+            ok = target.kind is bool
+        else:
+            ok = not target.kind is bool and isinstance(value, (int, float))
+        if not ok:
+            raise ConfigError(
+                f"axis {target.name} expects {target.kind.__name__}, "
+                f"got {value!r}"
+            )
+        if target.kind is int and not isinstance(value, int):
+            raise ConfigError(
+                f"axis {target.name} expects int, got {value!r}"
+            )
+        by_group.setdefault(target.group, {})[target.field] = value
+    if "asap" in by_group:
+        config = replace(config, asap=replace(config.asap, **by_group["asap"]))
+    if "memory" in by_group:
+        config = replace(config, memory=replace(config.memory, **by_group["memory"]))
+    if "core" in by_group:
+        config = replace(config, core=replace(config.core, **by_group["core"]))
+    if "system" in by_group:
+        config = replace(config, **by_group["system"])
+    if "workload" in by_group:
+        if params is None:
+            raise ConfigError(
+                "sweep names workload axes but no WorkloadParams was given: "
+                + ", ".join(sorted(by_group["workload"]))
+            )
+        params = replace(params, **by_group["workload"])
+    return config, params

@@ -1,0 +1,69 @@
+"""Design-space exploration: declarative sweeps over the ASAP model.
+
+The subsystem behind ``asap-repro explore`` (see docs/EXPLORE.md):
+
+* :mod:`repro.explore.space` - axes and sweep spaces, validated against
+  the real parameter dataclasses,
+* :mod:`repro.explore.drivers` - grid / random / adaptive-refine search,
+* :mod:`repro.explore.engine` - point evaluation through the parallel
+  cell executor and result cache,
+* :mod:`repro.explore.analysis` - sensitivity and area/throughput Pareto
+  frontiers,
+* :mod:`repro.explore.report` - markdown / JSON / CSV rendering.
+"""
+
+from repro.explore.analysis import (
+    Analysis,
+    AxisSensitivity,
+    analyze,
+    dominates,
+    pareto_frontier,
+    sensitivity,
+)
+from repro.explore.drivers import (
+    DRIVERS,
+    GridDriver,
+    RandomDriver,
+    RefineDriver,
+    make_driver,
+)
+from repro.explore.engine import (
+    OBJECTIVES,
+    ExplorationResult,
+    Objective,
+    PointOutcome,
+    explore,
+    get_objective,
+    point_specs,
+)
+from repro.explore.report import to_csv, to_dict, to_json, to_markdown
+from repro.explore.space import Axis, Point, SweepSpace, point_label
+
+__all__ = [
+    "Analysis",
+    "Axis",
+    "AxisSensitivity",
+    "DRIVERS",
+    "ExplorationResult",
+    "GridDriver",
+    "OBJECTIVES",
+    "Objective",
+    "Point",
+    "PointOutcome",
+    "RandomDriver",
+    "RefineDriver",
+    "SweepSpace",
+    "analyze",
+    "dominates",
+    "explore",
+    "get_objective",
+    "make_driver",
+    "pareto_frontier",
+    "point_label",
+    "point_specs",
+    "sensitivity",
+    "to_csv",
+    "to_dict",
+    "to_json",
+    "to_markdown",
+]

@@ -1,0 +1,195 @@
+"""Rendering: markdown summary, JSON, and CSV for explorations.
+
+The JSON and CSV forms contain only *deterministic* data - point values,
+metrics, frontier membership, sensitivities. Wall-clock times and cache
+hit counts deliberately never enter them, so output is byte-identical for
+any ``--jobs`` value and any cache state (CI compares the files with
+``cmp``); runtime information goes to the progress stream instead.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.explore.analysis import Analysis, analyze
+from repro.explore.engine import ExplorationResult, PointOutcome
+from repro.explore.space import point_label
+
+
+def _axis_columns(result: ExplorationResult) -> List[str]:
+    return [a.name.rsplit(".", 1)[-1] for a in result.space.axes]
+
+
+def _round6(value: float) -> float:
+    """Round metrics for serialisation: keeps JSON/CSV platform-stable and
+    diff-friendly without losing report-relevant precision."""
+    return round(float(value), 6)
+
+
+def to_dict(result: ExplorationResult, analysis: Analysis = None) -> dict:
+    """JSON-serialisable form of an exploration + its analysis."""
+    analysis = analysis or analyze(result)
+    frontier_points = {id(o) for o in analysis.frontier}
+
+    def outcome_dict(o: PointOutcome) -> dict:
+        return {
+            "point": {name: value for name, value in o.point},
+            "objective": _round6(o.objective),
+            "area_bytes": _round6(o.area_bytes),
+            "area_overhead": _round6(o.area_overhead),
+            "round": o.round_index,
+            "pareto": id(o) in frontier_points,
+            "per_workload": {
+                wl: {
+                    "throughput": _round6(r.throughput),
+                    "cycles_per_region": _round6(r.cycles_per_region),
+                    "cycles": r.cycles,
+                    "pm_writes": r.pm_writes,
+                    "pm_reads": r.pm_reads,
+                    "regions_completed": r.regions_completed,
+                }
+                for wl, r in sorted(o.per_workload.items())
+            },
+        }
+
+    return {
+        "space": result.space.to_dict(),
+        "driver": result.driver,
+        "objective": {
+            "name": result.objective.name,
+            "maximize": result.objective.maximize,
+        },
+        "rounds": result.rounds,
+        "points": [outcome_dict(o) for o in result.outcomes],
+        "pareto_frontier": [point_label(o.point) for o in analysis.frontier],
+        "dominated": [point_label(o.point) for o in analysis.dominated],
+        "sensitivity": [
+            {
+                "axis": s.axis,
+                "low": _round6(s.low),
+                "high": _round6(s.high),
+                "low_value": s.low_value,
+                "high_value": s.high_value,
+                "swing": _round6(s.swing),
+            }
+            for s in analysis.sensitivities
+        ],
+        "baseline": {
+            "point": {name: value for name, value in analysis.baseline},
+            "objective": (
+                None
+                if analysis.baseline_objective is None
+                else _round6(analysis.baseline_objective)
+            ),
+        },
+    }
+
+
+def to_json(result: ExplorationResult, analysis: Analysis = None) -> str:
+    return json.dumps(to_dict(result, analysis), indent=2, sort_keys=True) + "\n"
+
+
+def to_csv(result: ExplorationResult, analysis: Analysis = None) -> str:
+    """One row per evaluated point, axes as leading columns."""
+    analysis = analysis or analyze(result)
+    frontier_points = {id(o) for o in analysis.frontier}
+    axes = [a.name for a in result.space.axes]
+    header = (
+        _axis_columns(result)
+        + [result.objective.name, "area_bytes", "area_overhead", "pareto", "round"]
+    )
+    lines = [",".join(header)]
+    for o in result.outcomes:
+        values = dict(o.point)
+        row = [str(values[a]) for a in axes]
+        row += [
+            f"{_round6(o.objective):.6g}",
+            f"{_round6(o.area_bytes):.6g}",
+            f"{_round6(o.area_overhead):.6g}",
+            "1" if id(o) in frontier_points else "0",
+            str(o.round_index),
+        ]
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"
+
+
+def to_markdown(result: ExplorationResult, analysis: Analysis = None) -> str:
+    """The human-facing summary: points table, frontier, tornado."""
+    analysis = analysis or analyze(result)
+    obj = result.objective
+    direction = "max" if obj.maximize else "min"
+    frontier_points = {id(o) for o in analysis.frontier}
+
+    lines = [
+        f"## Design-space exploration ({result.driver} driver, "
+        f"{direction} {obj.name})",
+        "",
+        f"{len(result.outcomes)} points over "
+        f"{len(result.space.axes)} axes x "
+        f"{len(result.space.workloads)} workloads "
+        f"({', '.join(result.space.workloads)}), scheme "
+        f"`{result.space.scheme}`, {result.rounds} round(s).",
+        "",
+    ]
+
+    axis_cols = _axis_columns(result)
+    header = axis_cols + [obj.name, "area (KB)", "area %", "Pareto"]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for o in result.outcomes:
+        values = dict(o.point)
+        row = [str(values[a.name]) for a in result.space.axes]
+        row += [
+            f"{o.objective:.4g}",
+            f"{o.area_bytes / 1024:.1f}",
+            f"{o.area_overhead * 100:.2f}",
+            "*" if id(o) in frontier_points else "",
+        ]
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+
+    lines.append(
+        f"**Pareto frontier** ({obj.name} vs on-chip area): "
+        f"{len(analysis.frontier)} point(s), "
+        f"{len(analysis.dominated)} dominated point(s) pruned."
+    )
+    for o in analysis.frontier:
+        lines.append(
+            f"- `{point_label(o.point)}`: {obj.name}={o.objective:.4g}, "
+            f"area={o.area_bytes / 1024:.1f} KB "
+            f"({o.area_overhead * 100:.2f}%)"
+        )
+    lines.append("")
+
+    if analysis.baseline_objective is None:
+        lines.append(
+            "**Sensitivity**: baseline point "
+            f"`{point_label(analysis.baseline)}` was not evaluated by this "
+            "driver; no tornado analysis."
+        )
+    else:
+        lines.append(
+            f"**Sensitivity** (objective deltas off baseline "
+            f"`{point_label(analysis.baseline)}` = "
+            f"{analysis.baseline_objective:.4g}), most sensitive first:"
+        )
+        width = max(
+            [len(s.axis.rsplit(".", 1)[-1]) for s in analysis.sensitivities]
+            + [4]
+        )
+        for s in analysis.sensitivities:
+            name = s.axis.rsplit(".", 1)[-1]
+            lines.append(
+                f"- `{name:<{width}}`  "
+                f"[{s.low:+.4g} @ {s.low_value} ... {s.high:+.4g} @ "
+                f"{s.high_value}]  swing {s.swing:.4g}"
+            )
+    lines.append("")
+    best = result.best()
+    lines.append(
+        f"**Best point**: `{point_label(best.point)}` with "
+        f"{obj.name}={best.objective:.4g} "
+        f"(area {best.area_bytes / 1024:.1f} KB)."
+    )
+    return "\n".join(lines) + "\n"

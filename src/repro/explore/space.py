@@ -1,0 +1,252 @@
+"""Declarative sweep spaces: axes over the real parameter dataclasses.
+
+A :class:`SweepSpace` names configuration fields as :class:`Axis` entries
+(``lh_wpq_entries``, ``memory.wpq_entries``, ``pm_latency_multiplier``,
+...) with explicit value lists or ranges, plus the workloads and scheme to
+evaluate at every point. Axis names resolve through
+:func:`repro.common.params.resolve_axis` and every axis value is applied
+to the base configuration at construction time, so a typo or out-of-range
+value fails before any simulation runs.
+
+Spaces round-trip through a small dict/JSON format (:meth:`SweepSpace.from_dict`)
+used by ``asap-repro explore --space FILE``::
+
+    {
+      "axes": {
+        "lh_wpq_entries": [4, 16, 64],
+        "dep_list_entries": {"start": 8, "stop": 64, "num": 4, "scale": "log2"}
+      },
+      "workloads": ["HM", "Q"],
+      "scheme": "asap",
+      "baseline": {"wpq_entries": 16}
+    }
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.params import (
+    SystemConfig,
+    apply_axis_values,
+    resolve_axis,
+)
+
+#: one sweep point: canonical axis name -> value, in axis declaration order
+Point = Tuple[Tuple[str, object], ...]
+
+
+def _expand_range(spec: Mapping) -> List:
+    """Expand a ``{"start":, "stop":, "num":, "scale":}`` range to values.
+
+    ``scale`` is ``"linear"`` (default) or ``"log2"``; integer endpoints
+    produce integer values (rounded, deduplicated, order preserved).
+    """
+    try:
+        start, stop = spec["start"], spec["stop"]
+    except KeyError as exc:
+        raise ConfigError(f"range spec needs 'start' and 'stop': {dict(spec)}")\
+            from exc
+    num = int(spec.get("num", 2))
+    scale = spec.get("scale", "linear")
+    if num < 2:
+        raise ConfigError(f"range spec needs num >= 2, got {num}")
+    if scale == "linear":
+        raw = [start + (stop - start) * i / (num - 1) for i in range(num)]
+    elif scale == "log2":
+        if start <= 0 or stop <= 0:
+            raise ConfigError("log2 range needs positive endpoints")
+        import math
+
+        lo, hi = math.log2(start), math.log2(stop)
+        raw = [2 ** (lo + (hi - lo) * i / (num - 1)) for i in range(num)]
+    else:
+        raise ConfigError(f"unknown range scale {scale!r}; use linear or log2")
+    if isinstance(start, int) and isinstance(stop, int):
+        raw = [int(round(v)) for v in raw]
+    out: List = []
+    for v in raw:
+        if v not in out:
+            out.append(v)
+    return out
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One sweep dimension: a canonical axis name plus its candidate values.
+
+    Use :meth:`Axis.of` to build one from user input - it canonicalises the
+    name against the parameter dataclasses and rejects empty or duplicate
+    value lists.
+    """
+
+    name: str
+    values: Tuple
+
+    @staticmethod
+    def of(name: str, values) -> "Axis":
+        target = resolve_axis(name)
+        if isinstance(values, Mapping):
+            values = _expand_range(values)
+        values = tuple(values)
+        if not values:
+            raise ConfigError(f"axis {target.name} has no values")
+        if len(set(values)) != len(values):
+            raise ConfigError(f"axis {target.name} has duplicate values: {values}")
+        return Axis(name=target.name, values=values)
+
+    @property
+    def span(self) -> Tuple:
+        """(min, max) of a numeric axis's values."""
+        return (min(self.values), max(self.values))
+
+    def midpoint(self, lo, hi) -> Optional[object]:
+        """The bisection value between two tried values, or None when the
+        gap cannot be split further (adjacent integers, equal floats)."""
+        if isinstance(lo, bool) or isinstance(hi, bool):
+            return None
+        mid = (lo + hi) / 2
+        if isinstance(lo, int) and isinstance(hi, int):
+            mid = int(round(mid))
+            if mid in (lo, hi):
+                return None
+            return mid
+        if mid in (lo, hi):
+            return None
+        return mid
+
+
+@dataclass(frozen=True)
+class SweepSpace:
+    """A full design-space description.
+
+    ``baseline`` holds axis values applied to *every* point (and defining
+    the sensitivity-analysis reference); axes override it point by point.
+    """
+
+    axes: Tuple[Axis, ...]
+    workloads: Tuple[str, ...]
+    scheme: str = "asap"
+    baseline: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self):
+        if not self.axes:
+            raise ConfigError("a sweep space needs at least one axis")
+        if not self.workloads:
+            raise ConfigError("a sweep space needs at least one workload")
+        names = [a.name for a in self.axes]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate sweep axes: {names}")
+        overlap = set(names) & {n for n, _ in self.baseline}
+        if overlap:
+            raise ConfigError(
+                f"baseline overrides swept axes: {sorted(overlap)}"
+            )
+
+    @staticmethod
+    def build(
+        axes: Mapping[str, object],
+        workloads: Sequence[str],
+        scheme: str = "asap",
+        baseline: Optional[Mapping[str, object]] = None,
+        validate_against: Optional[SystemConfig] = None,
+    ) -> "SweepSpace":
+        """Construct and *validate* a space.
+
+        Every axis value (and the baseline) is applied to
+        ``validate_against`` (default: the Table 2 :class:`SystemConfig`)
+        so invalid values fail here, not mid-sweep.
+        """
+        from repro.workloads import WorkloadParams, workload_names
+
+        built = tuple(Axis.of(name, values) for name, values in axes.items())
+        base = tuple(
+            (resolve_axis(n).name, v) for n, v in (baseline or {}).items()
+        )
+        known = workload_names()
+        for w in workloads:
+            if w not in known:
+                raise ConfigError(f"unknown workload {w!r}; choose from {known}")
+        space = SweepSpace(
+            axes=built,
+            workloads=tuple(workloads),
+            scheme=scheme,
+            baseline=base,
+        )
+        config = validate_against or SystemConfig()
+        params = WorkloadParams()
+        apply_axis_values(config, params, dict(base))
+        for axis in built:
+            for value in axis.values:
+                apply_axis_values(config, params, {axis.name: value})
+        return space
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "SweepSpace":
+        """Build a space from the JSON-friendly dict format."""
+        unknown = set(data) - {"axes", "workloads", "scheme", "baseline"}
+        if unknown:
+            raise ConfigError(f"unknown sweep-space keys: {sorted(unknown)}")
+        if "axes" not in data or "workloads" not in data:
+            raise ConfigError("sweep space needs 'axes' and 'workloads'")
+        return SweepSpace.build(
+            axes=data["axes"],
+            workloads=data["workloads"],
+            scheme=data.get("scheme", "asap"),
+            baseline=data.get("baseline"),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "axes": {a.name: list(a.values) for a in self.axes},
+            "workloads": list(self.workloads),
+            "scheme": self.scheme,
+            "baseline": dict(self.baseline),
+        }
+
+    # -- points --------------------------------------------------------------
+
+    def axis(self, name: str) -> Axis:
+        canonical = resolve_axis(name).name
+        for a in self.axes:
+            if a.name == canonical:
+                return a
+        raise ConfigError(f"{canonical} is not an axis of this space")
+
+    def point(self, **values) -> Point:
+        """A single point from per-axis values (axes not named use their
+        first declared value)."""
+        resolved = {resolve_axis(n).name: v for n, v in values.items()}
+        unknown = set(resolved) - {a.name for a in self.axes}
+        if unknown:
+            raise ConfigError(f"not axes of this space: {sorted(unknown)}")
+        return tuple(
+            (a.name, resolved.get(a.name, a.values[0])) for a in self.axes
+        )
+
+    def center_point(self) -> Point:
+        """The middle value of every axis - the sensitivity baseline."""
+        return tuple(
+            (a.name, a.values[(len(a.values) - 1) // 2]) for a in self.axes
+        )
+
+    def grid(self) -> List[Point]:
+        """The full cross product, in row-major axis-declaration order."""
+        return [
+            tuple(zip([a.name for a in self.axes], combo))
+            for combo in itertools.product(*(a.values for a in self.axes))
+        ]
+
+    def materialize(self, point: Point, config: SystemConfig, params):
+        """Apply baseline + point values to a base (config, params) pair."""
+        merged = dict(self.baseline)
+        merged.update(dict(point))
+        return apply_axis_values(config, params, merged)
+
+
+def point_label(point: Point) -> str:
+    """Compact human-readable point name (``lh_wpq_entries=16,...``)."""
+    return ",".join(f"{name.rsplit('.', 1)[-1]}={value}" for name, value in point)

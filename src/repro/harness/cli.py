@@ -92,6 +92,11 @@ def main(argv=None) -> int:
         from repro.harness.fuzz import main as fuzz_main
 
         return fuzz_main(list(argv[1:]))
+    if argv and argv[0] == "explore":
+        # Likewise the design-space explorer (--space/--axis/--driver/...).
+        from repro.explore.cli import main as explore_main
+
+        return explore_main(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="asap-repro",
@@ -100,7 +105,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help=f"one of {sorted(REGISTRY)}, 'all', 'config', 'workloads', "
-        "'summary', 'crashtest', or 'fuzz' (see 'fuzz --help')",
+        "'summary', 'crashtest', 'fuzz' (see 'fuzz --help'), or "
+        "'explore' (see 'explore --help')",
     )
     parser.add_argument(
         "--full",

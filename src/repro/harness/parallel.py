@@ -126,12 +126,17 @@ class CellResult:
 _FINGERPRINT: Optional[str] = None
 
 
+#: orchestration-only subpackages excluded from the fingerprint: editing
+#: them cannot change a cell's result, so cached cells stay valid
+_NON_SIMULATOR_DIRS = ("harness", "explore")
+
+
 def simulator_fingerprint() -> str:
     """Digest of the simulator sources (everything under ``repro`` except
-    the harness layer). Any change to the machine model invalidates every
-    cached result; editing an experiment module does not - that is what
-    makes a warm-cache ``asap-repro all`` near-instant after touching one
-    experiment."""
+    the harness and explore layers). Any change to the machine model
+    invalidates every cached result; editing an experiment module or a
+    sweep driver does not - that is what makes a warm-cache
+    ``asap-repro all`` near-instant after touching one experiment."""
     global _FINGERPRINT
     if _FINGERPRINT is None:
         pkg = os.path.dirname(os.path.abspath(repro.__file__))
@@ -140,7 +145,8 @@ def simulator_fingerprint() -> str:
             dirnames[:] = sorted(
                 d
                 for d in dirnames
-                if d != "__pycache__" and not (dirpath == pkg and d == "harness")
+                if d != "__pycache__"
+                and not (dirpath == pkg and d in _NON_SIMULATOR_DIRS)
             )
             for fname in sorted(filenames):
                 if not fname.endswith(".py"):

@@ -9,7 +9,7 @@ All the paper's evaluation metrics come from here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -40,7 +40,7 @@ class RunResult:
     #: structural-stall counters (which capacity limits were hit and how
     #: often); keys depend on the scheme - ASAP reports its CL List,
     #: Dependence List, and LH-WPQ pressure here
-    stall_breakdown: Dict[str, int] = None
+    stall_breakdown: Dict[str, int] = field(default_factory=dict)
     scheme_stats: Optional[object] = None
 
     @staticmethod

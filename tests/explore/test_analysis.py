@@ -1,0 +1,166 @@
+"""The analysis layer: Pareto dominance/pruning and sensitivity deltas.
+
+All synthetic - PointOutcomes are built by hand, no simulation runs.
+"""
+
+import pytest
+
+from repro.explore.analysis import (
+    AxisSensitivity,
+    dominates,
+    pareto_frontier,
+    sensitivity,
+)
+from repro.explore.engine import PointOutcome
+from repro.explore.space import SweepSpace
+
+
+def outcome(obj, area, name="x"):
+    return PointOutcome(
+        point=(("asap.lh_wpq_entries", name),),
+        per_workload={},
+        objective=obj,
+        area_bytes=area,
+        area_overhead=area / 1e6,
+    )
+
+
+# -- dominance ---------------------------------------------------------------
+
+
+def test_dominates_requires_both_axes_and_one_strict():
+    better = outcome(10.0, 100.0)
+    worse = outcome(5.0, 200.0)
+    assert dominates(better, worse, maximize=True)
+    assert not dominates(worse, better, maximize=True)
+    # equal on both axes: neither dominates (ties survive together)
+    twin_a, twin_b = outcome(10.0, 100.0), outcome(10.0, 100.0)
+    assert not dominates(twin_a, twin_b, maximize=True)
+    assert not dominates(twin_b, twin_a, maximize=True)
+    # better on one axis, worse on the other: incomparable
+    fast_big = outcome(10.0, 300.0)
+    slow_small = outcome(5.0, 100.0)
+    assert not dominates(fast_big, slow_small, maximize=True)
+    assert not dominates(slow_small, fast_big, maximize=True)
+
+
+def test_dominates_flips_with_minimising_objectives():
+    low_cycles = outcome(100.0, 100.0)  # fewer cycles = better when minimising
+    high_cycles = outcome(200.0, 100.0)
+    assert dominates(low_cycles, high_cycles, maximize=False)
+    assert not dominates(low_cycles, high_cycles, maximize=True)
+
+
+# -- frontier ----------------------------------------------------------------
+
+
+def test_frontier_single_point_is_trivially_pareto():
+    only = outcome(1.0, 1.0)
+    frontier, dominated = pareto_frontier([only])
+    assert frontier == [only] and dominated == []
+    assert pareto_frontier([]) == ([], [])
+
+
+def test_frontier_prunes_everything_one_point_dominates():
+    king = outcome(10.0, 50.0)
+    peasants = [outcome(9.0, 60.0), outcome(5.0, 51.0), outcome(1.0, 500.0)]
+    frontier, dominated = pareto_frontier([*peasants, king])
+    assert frontier == [king]
+    assert dominated == peasants  # evaluation order preserved
+
+
+def test_frontier_keeps_exact_ties_together():
+    a, b = outcome(10.0, 100.0, "a"), outcome(10.0, 100.0, "b")
+    loser = outcome(9.0, 100.0)
+    frontier, dominated = pareto_frontier([a, b, loser])
+    assert a in frontier and b in frontier
+    assert dominated == [loser]
+
+
+def test_frontier_orders_by_area_and_keeps_tradeoffs():
+    cheap_slow = outcome(2.0, 10.0)
+    dear_fast = outcome(10.0, 100.0)
+    mid = outcome(6.0, 50.0)
+    dominated_pt = outcome(1.0, 120.0)
+    frontier, dominated = pareto_frontier(
+        [dear_fast, dominated_pt, cheap_slow, mid]
+    )
+    assert frontier == [cheap_slow, mid, dear_fast]  # ascending area
+    assert dominated == [dominated_pt]
+
+
+def test_frontier_with_minimising_objective():
+    few_writes = outcome(100.0, 50.0)
+    many_writes = outcome(900.0, 50.0)
+    frontier, dominated = pareto_frontier(
+        [many_writes, few_writes], maximize=False
+    )
+    assert frontier == [few_writes]
+    assert dominated == [many_writes]
+
+
+# -- sensitivity -------------------------------------------------------------
+
+
+def space_2ax():
+    return SweepSpace.build(
+        axes={"lh_wpq_entries": [2, 8, 32], "dep_list_entries": [4, 16, 64]},
+        workloads=["HM"],
+    )
+
+
+def synth(space, fn):
+    """Evaluate fn(axis value dict) over the tornado set + full grid."""
+    return {p: fn(dict(p)) for p in space.grid()}
+
+
+def test_sensitivity_deltas_on_a_synthetic_objective():
+    space = space_2ax()
+    # objective = 3*dep - lh: dep swings positive, lh negative
+    evaluated = synth(
+        space,
+        lambda v: 3.0 * v["asap.dependence_list_entries"]
+        - v["asap.lh_wpq_entries"],
+    )
+    rows = sensitivity(space, evaluated)
+    by_axis = {r.axis: r for r in rows}
+    dep = by_axis["asap.dependence_list_entries"]
+    lh = by_axis["asap.lh_wpq_entries"]
+    # baseline = center (lh=8, dep=16): dep deltas 3*(4-16)=-36 / 3*(64-16)=+144
+    assert dep.low == pytest.approx(-36.0) and dep.high == pytest.approx(144.0)
+    assert dep.low_value == 4 and dep.high_value == 64
+    # lh deltas: -(2-8)=+6 at 2, -(32-8)=-24 at 32
+    assert lh.low == pytest.approx(-24.0) and lh.high == pytest.approx(6.0)
+    assert lh.low_value == 32 and lh.high_value == 2
+    # most sensitive axis first
+    assert rows[0] is dep
+    assert dep.swing == pytest.approx(180.0)
+
+
+def test_sensitivity_ignores_multi_axis_moves():
+    space = space_2ax()
+    center = space.center_point()
+    corner = space.point(lh_wpq_entries=32, dep_list_entries=64)
+    rows = sensitivity(space, {center: 1.0, corner: 99.0})
+    assert all(r.low == 0.0 and r.high == 0.0 for r in rows)
+
+
+def test_sensitivity_without_baseline_reports_zeroes():
+    space = space_2ax()
+    rows = sensitivity(space, {space.grid()[0]: 42.0})
+    assert [r.axis for r in rows]  # one row per axis, stable
+    assert all(r.swing == 0.0 for r in rows)
+
+
+def test_sensitivity_custom_baseline():
+    space = space_2ax()
+    base = space.point(lh_wpq_entries=2, dep_list_entries=4)
+    probe = space.point(lh_wpq_entries=32, dep_list_entries=4)
+    rows = sensitivity(space, {base: 10.0, probe: 4.0}, baseline=base)
+    lh = next(r for r in rows if r.axis == "asap.lh_wpq_entries")
+    assert lh.low == pytest.approx(-6.0) and lh.low_value == 32
+
+
+def test_axis_sensitivity_swing():
+    s = AxisSensitivity("a", low=-2.0, high=3.0, low_value=1, high_value=9)
+    assert s.swing == 5.0

@@ -1,0 +1,154 @@
+"""The exploration engine end-to-end, and the lhwpq experiment's port.
+
+Real quick-mode simulations on a deliberately tiny space (one axis, one
+workload) - the determinism and cache contracts are the point, not the
+numbers.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.explore.analysis import analyze
+from repro.explore.drivers import GridDriver
+from repro.explore.engine import (
+    ExplorationResult,
+    PointOutcome,
+    explore,
+    get_objective,
+    point_specs,
+)
+from repro.explore.report import to_json
+from repro.explore.space import SweepSpace
+from repro.harness.experiments import lhwpq
+from repro.harness.parallel import ResultCache, RunSpec, execute
+from repro.harness.runner import default_config, default_params
+
+
+def tiny_space():
+    return SweepSpace.build(
+        axes={"lh_wpq_entries": [16, 1]}, workloads=["HM"], scheme="asap"
+    )
+
+
+# -- objectives --------------------------------------------------------------
+
+
+def test_objective_signs():
+    assert get_objective("throughput").signed(3.0) == 3.0
+    assert get_objective("cycles_per_region").signed(10.0) == -10.0
+    with pytest.raises(ConfigError, match="unknown objective"):
+        get_objective("ipc")
+
+
+def test_best_respects_minimising_objectives():
+    obj = get_objective("pm_writes")
+    result = ExplorationResult(space=tiny_space(), driver="grid", objective=obj)
+    few = PointOutcome((("asap.lh_wpq_entries", 16),), {}, 10.0, 1.0, 0.1)
+    many = PointOutcome((("asap.lh_wpq_entries", 1),), {}, 90.0, 1.0, 0.1)
+    result.outcomes = [many, few]
+    assert result.best() is few
+    assert result.evaluated[few.point] == -10.0
+    with pytest.raises(ConfigError):
+        ExplorationResult(space=tiny_space(), driver="grid", objective=obj).best()
+
+
+# -- point_specs -------------------------------------------------------------
+
+
+def test_point_specs_overlay_the_point_on_the_base_machine():
+    space = tiny_space()
+    config, params = default_config(True), default_params(True)
+    specs = point_specs(space, space.grid(), config=config, params=params)
+    assert [s.key for s in specs] == [(p, "HM") for p in space.grid()]
+    by_point = {s.key[0]: s for s in specs}
+    small = by_point[space.point(lh_wpq_entries=1)]
+    assert small.config.asap.lh_wpq_entries == 1
+    assert small.scheme == "asap" and small.workload == "HM"
+    # only the axis field moved off the base machine
+    assert small.config.memory == config.memory
+    assert small.params == params
+
+
+# -- explore -----------------------------------------------------------------
+
+
+def test_explore_grid_covers_the_space_in_one_round(tmp_path):
+    space = tiny_space()
+    result = explore(space, GridDriver(), cache=ResultCache(str(tmp_path)))
+    assert result.rounds == 1
+    assert [o.point for o in result.outcomes] == space.grid()
+    for o in result.outcomes:
+        assert set(o.per_workload) == {"HM"}
+        assert o.objective > 0 and o.area_bytes > 0
+        assert o.round_index == 0 and o.cached_cells == 0
+    assert result.best() in result.outcomes
+
+
+def test_explore_is_deterministic_across_jobs_and_cache_state(tmp_path):
+    space = tiny_space()
+    serial = explore(space, GridDriver(), jobs=1)
+    fanned = explore(
+        space, GridDriver(), jobs=2, cache=ResultCache(str(tmp_path))
+    )
+    warm = explore(
+        space, GridDriver(), jobs=1, cache=ResultCache(str(tmp_path))
+    )
+    # every cell of the warm run came from the cache the fanned run filled
+    assert all(o.cached_cells == 1 for o in warm.outcomes)
+    reports = [to_json(r, analyze(r)) for r in (serial, fanned, warm)]
+    assert reports[0] == reports[1] == reports[2]
+
+
+# -- the lhwpq experiment rides the sweep engine (satellite) -----------------
+
+
+def historical_lhwpq_specs(workloads):
+    """The spec list exactly as lhwpq.plan built it before the port."""
+    config = default_config(True)
+    params = default_params(True)
+    small_config = default_config(True, lh_wpq_entries=lhwpq.SMALL_LH_WPQ)
+    specs = []
+    for name in workloads:
+        specs.append(
+            RunSpec(key=(name, "big"), workload=name, scheme="asap",
+                    config=config, params=params)
+        )
+        specs.append(
+            RunSpec(key=(name, "small"), workload=name, scheme="asap",
+                    config=small_config, params=params)
+        )
+    for name in workloads:
+        for scheme in ("hwundo", "hwredo"):
+            specs.append(
+                RunSpec(key=(name, scheme), workload=name, scheme=scheme,
+                        config=config, params=params)
+            )
+    return specs
+
+
+def test_lhwpq_port_preserves_cells_and_cache_tokens():
+    plan = lhwpq.plan(quick=True, workloads=["HM", "Q"])
+    old = historical_lhwpq_specs(["HM", "Q"])
+    new_by_key = {s.key: s for s in plan.specs}
+    assert set(new_by_key) == {s.key for s in old}
+    for spec in old:
+        # same content hash = the port shares every previously cached cell
+        assert new_by_key[spec.key].cache_token() == spec.cache_token()
+
+
+def test_lhwpq_table_output_unchanged(tmp_path):
+    plan = lhwpq.plan(quick=True, workloads=["HM"])
+    cells = execute(plan.specs, cache=ResultCache(str(tmp_path)))
+    table = plan.assemble(cells)
+    assert table.columns == ["ASAP16/ASAP128", "ASAP16/HWUndo", "ASAP16/HWRedo"]
+    big = cells[("HM", "big")].result
+    small = cells[("HM", "small")].result
+    ratios = table.rows["HM"]
+    assert ratios["ASAP16/ASAP128"] == pytest.approx(
+        small.throughput / big.throughput
+    )
+    assert ratios["ASAP16/HWUndo"] == pytest.approx(
+        small.throughput / cells[("HM", "hwundo")].result.throughput
+    )
+    # the geomean row still closes the table
+    assert list(table.rows) == ["HM", "GeoMean"]
