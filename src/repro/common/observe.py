@@ -65,6 +65,11 @@ class SimObserver:
     def lpo_initiated(self, engine, rid, line, entry_addr) -> None:
         """A Log Persist Operation for ``line`` was sent towards a WPQ."""
 
+    def lpo_deferred(self, engine, rid, line) -> None:
+        """An LPO was held at the controller behind an earlier uncommitted
+        writer's in-flight LPO for the same line (the per-line
+        chain-ordering rule, ``AsapParams.ordered_line_log_persists``)."""
+
     def lpo_logged(self, engine, rid, line) -> None:
         """The WPQ accepted the LPO: ``line``'s old value is durable."""
 

@@ -139,6 +139,15 @@ class AsapParams:
     lpo_dropping: bool = True
     dpo_coalescing: bool = True
     dpo_dropping: bool = True
+    #: Same-line log persists become durable in dependence-chain order: a
+    #: region's LPO for line L is held at the memory controller until every
+    #: earlier uncommitted writer of L has a durable log entry for L. False
+    #: restores the pre-fix model in which chained entries could persist
+    #: out of order across channels, leaving recovery an incomplete undo
+    #: chain whose restore corrupts committed state (the ROADMAP repro at
+    #: crash cycle 1085). Keep True outside regression tests; see
+    #: docs/RECOVERY.md.
+    ordered_line_log_persists: bool = True
 
     def __post_init__(self):
         if self.cl_list_entries <= 0 or self.clptr_slots <= 0:

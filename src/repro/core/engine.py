@@ -24,8 +24,9 @@ commits are asynchronous.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.common.address import line_base, words_of_line
 from repro.common.errors import SimulationError
@@ -63,6 +64,10 @@ class AsapStats:
     dep_captures: int = 0
     stale_owner_lookups: int = 0
     fence_waits: int = 0
+    #: LPOs held at the memory controller until an earlier uncommitted
+    #: writer's log entry for the same line became durable (the per-line
+    #: chain-ordering rule; docs/RECOVERY.md)
+    lpo_order_delays: int = 0
 
 
 class AsapThread:
@@ -124,6 +129,17 @@ class AsapEngine:
             num_channels, self.params.bloom_filter_bits, self.params.bloom_hashes
         )
         self.threads: Dict[int, AsapThread] = {}
+        #: per-line LPO ordering (``AsapParams.ordered_line_log_persists``):
+        #: for each line with LPOs submitted but not yet accepted/dropped, a
+        #: ``[channel_index, count]`` token, plus the FIFO of later same-line
+        #: LPOs held back. Submission order equals dependence-chain order
+        #: (first writes take ownership under dependence capture), so
+        #: releasing waiters oldest-first persists each line's log entries
+        #: chain-oldest-first. Same-channel followers ride the in-flight
+        #: token (count > 1) instead of waiting: one channel's FIFO already
+        #: orders their acceptance.
+        self._line_lpo_inflight: Dict[int, List[int]] = {}
+        self._line_lpo_waiters: Dict[int, Deque] = {}
         #: commit listeners, e.g. the recovery oracle
         self.on_commit: List[Callable[[int], None]] = []
         self._quiescent_waiters: List[Callable[[], None]] = []
@@ -430,10 +446,23 @@ class AsapEngine:
         then: Callable[[], None],
     ) -> None:
         """Sec. 4.6.1: lock the line, take ownership, log the old value."""
+        # Chain detection must read the owner *before* this region takes
+        # ownership: an uncommitted previous writer means this log entry's
+        # "old value" is that writer's never-yet-durable data, so the entry
+        # is mid-chain - it carries CHAIN_BIT in the durable header and its
+        # LPO is ordered behind the predecessor's (the per-line rule).
+        prev_owner = meta.owner_rid
+        chained = (
+            prev_owner is not None
+            and prev_owner != rid
+            and self.dep_list_for(prev_owner).contains(prev_owner)
+        )
         meta.lock_count += 1
         meta.owner_rid = rid
         line = meta.line
-        slot_idx, entry_addr, record, opened, sealed = thread.log.append(rid, line)
+        slot_idx, entry_addr, record, opened, sealed = thread.log.append(
+            rid, line, chained=chained
+        )
         if sealed is not None:
             self._seal_record(sealed, rid)
 
@@ -447,13 +476,14 @@ class AsapEngine:
                 for w in words_of_line(line)
             }
             payload[record.header_addr] = rid
-            payload[record.header_word_addr(slot_idx)] = line
+            payload[record.header_word_addr(slot_idx)] = record.slot_word(slot_idx)
 
             def accepted(op: PersistOp) -> None:
                 record.confirm(slot_idx)
                 if self.observer is not None:
                     self.observer.lpo_logged(self, rid, line)
                 self._lpo_accepted(op, thread)
+                self._lpo_chain_advance(line)
 
             op = PersistOp(
                 kind=LPO,
@@ -466,7 +496,7 @@ class AsapEngine:
             self.stats.lpos_initiated += 1
             if self.observer is not None:
                 self.observer.lpo_initiated(self, rid, line, entry_addr)
-            self.memory.issue_persist(op)
+            self._submit_lpo_ordered(op, line)
             # Instruction execution proceeds while the LPO is in flight.
             then()
 
@@ -476,6 +506,74 @@ class AsapEngine:
             self.lh_wpq_for(record.header_addr).acquire(record, issue)
         else:
             issue()
+
+    def _submit_lpo_ordered(self, op: PersistOp, line: int) -> None:
+        """Submit an LPO under the per-line chain-ordering rule.
+
+        Same-line log entries of chained uncommitted writers may live in
+        *different* records on *different* channels, so nothing in the
+        memory system orders their durability - yet recovery's correctness
+        depends on it: if a dependent's entry for L is durable while its
+        predecessor's is not, the dependent's logged "old value" is data
+        that never existed durably, and restoring it corrupts committed
+        state. The rule: at most one LPO per line is in flight; later ones
+        wait at the controller until it is accepted (durable) or dropped
+        (its region committed). Execution never stalls - only the log
+        write's durability is deferred, and the LockBit it holds keeps the
+        region's own DPO (and hence its commit) behind it.
+
+        One refinement keeps the common case free: when the in-flight
+        entry sits on the *same channel* (and backpressure is FIFO), the
+        channel itself already orders their acceptance - equal MC hop,
+        FIFO scheduler ties, FIFO admission - so the dependent issues
+        immediately and merely rides the in-flight token. Only chains
+        whose entries interleave across channels (the actual hazard) pay
+        a deferral.
+        """
+        if not self.params.ordered_line_log_persists:
+            self.memory.issue_persist(op)
+            return
+        channel = self.memory.channel_for_line(op.target_line)
+        inflight = self._line_lpo_inflight.get(line)
+        if inflight is not None:
+            if (
+                inflight[0] == channel.index
+                and self.memory.config.memory.wpq_fifo_backpressure
+                and not self._line_lpo_waiters.get(line)
+            ):
+                inflight[1] += 1
+                self.memory.issue_persist(op)
+                return
+            self.stats.lpo_order_delays += 1
+            if self.observer is not None:
+                self.observer.lpo_deferred(self, op.rid, line)
+            self._line_lpo_waiters.setdefault(line, deque()).append(op)
+            return
+        self._line_lpo_inflight[line] = [channel.index, 1]
+        self.memory.issue_persist(op)
+
+    def _lpo_chain_advance(self, line: int) -> None:
+        """One of a line's in-flight LPOs resolved; when the whole in-flight
+        group has (all its entries durable or superseded), release the next
+        waiter."""
+        if not self.params.ordered_line_log_persists:
+            return
+        inflight = self._line_lpo_inflight.get(line)
+        if inflight is None:
+            return
+        inflight[1] -= 1
+        if inflight[1] > 0:
+            return
+        waiters = self._line_lpo_waiters.get(line)
+        if waiters:
+            nxt = waiters.popleft()
+            if not waiters:
+                del self._line_lpo_waiters[line]
+            channel = self.memory.channel_for_line(nxt.target_line)
+            self._line_lpo_inflight[line] = [channel.index, 1]
+            self.memory.issue_persist(nxt)
+        else:
+            self._line_lpo_inflight.pop(line, None)
 
     def _seal_record(self, record: LogRecord, rid: int) -> None:
         """A filled record's header moves from the LH-WPQ to the WPQ."""

@@ -26,6 +26,24 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 from repro.common.errors import LogOverflowError, SimulationError
 from repro.common.units import CACHE_LINE_BYTES, WORD_BYTES
 
+#: low bit of a header slot word: the logged line's previous writer was an
+#: *uncommitted* region when this entry was created, i.e. the entry sits in
+#: the middle of a per-line undo chain. Data lines are 64-byte aligned, so
+#: the low six bits of a slot word are free for metadata; recovery masks
+#: them off (see :func:`decode_slot_word`) and uses the flag to validate
+#: chain completeness before restoring (docs/RECOVERY.md).
+CHAIN_BIT = 0x1
+
+
+def encode_slot_word(data_line: int, chained: bool) -> int:
+    """Pack a header slot word: line address plus the chain flag."""
+    return data_line | (CHAIN_BIT if chained else 0)
+
+
+def decode_slot_word(word: int) -> Tuple[int, bool]:
+    """Unpack a header slot word into ``(data_line, chained)``."""
+    return word & ~(CACHE_LINE_BYTES - 1), bool(word & CHAIN_BIT)
+
 
 class LogRecord:
     """One in-flight log record of an atomic region.
@@ -40,7 +58,15 @@ class LogRecord:
     have persisted either (Sec. 4.6.1).
     """
 
-    __slots__ = ("rid", "header_addr", "capacity", "entries", "confirmed", "sealed")
+    __slots__ = (
+        "rid",
+        "header_addr",
+        "capacity",
+        "entries",
+        "confirmed",
+        "chained",
+        "sealed",
+    )
 
     def __init__(self, rid: int, header_addr: int, capacity: int):
         self.rid = rid
@@ -49,6 +75,9 @@ class LogRecord:
         #: (data_line, entry_addr) in fill order
         self.entries: List[Tuple[int, int]] = []
         self.confirmed: set = set()
+        #: slots whose line had an *uncommitted* previous writer (their
+        #: durable header words carry :data:`CHAIN_BIT`)
+        self.chained: set = set()
         self.sealed = False
 
     @property
@@ -58,16 +87,20 @@ class LogRecord:
     def entry_addr(self, slot: int) -> int:
         return self.header_addr + (1 + slot) * CACHE_LINE_BYTES
 
-    def add_entry(self, data_line: int) -> Tuple[int, int]:
+    def add_entry(self, data_line: int, chained: bool = False) -> Tuple[int, int]:
         """Reserve the next entry slot for ``data_line``.
 
-        Returns ``(slot_index, entry_addr)``.
+        ``chained`` marks the entry as mid-chain (the line's previous
+        writer was uncommitted); its durable header word carries
+        :data:`CHAIN_BIT`. Returns ``(slot_index, entry_addr)``.
         """
         if self.full:
             raise SimulationError("appending to a full log record")
         slot = len(self.entries)
         addr = self.entry_addr(slot)
         self.entries.append((data_line, addr))
+        if chained:
+            self.chained.add(slot)
         return slot, addr
 
     def confirm(self, slot: int) -> None:
@@ -78,19 +111,24 @@ class LogRecord:
         """PM address of the header word naming entry ``slot``."""
         return self.header_addr + (1 + slot) * WORD_BYTES
 
+    def slot_word(self, slot: int) -> int:
+        """The durable header word for entry ``slot`` (address + flags)."""
+        return encode_slot_word(self.entries[slot][0], slot in self.chained)
+
     def header_payload(self) -> Dict[int, int]:
         """The header cache line as a {word addr: value} payload.
 
         Word 0 is the packed RID; word ``1+i`` is the data-line address of
-        confirmed entry ``i``. Unconfirmed and unused slots are explicit
-        zeros so that writing this header scrubs any stale addresses left
-        in a reused record slot. This is what recovery parses.
+        confirmed entry ``i`` (low bits carry the :data:`CHAIN_BIT` flag).
+        Unconfirmed and unused slots are explicit zeros so that writing
+        this header scrubs any stale addresses left in a reused record
+        slot. This is what recovery parses.
         """
         payload = {self.header_addr: self.rid}
         for i in range(self.capacity):
             word = self.header_word_addr(i)
             if i < len(self.entries) and i in self.confirmed:
-                payload[word] = self.entries[i][0]
+                payload[word] = self.slot_word(i)
             else:
                 payload[word] = 0
         return payload
@@ -167,8 +205,10 @@ class UndoLog:
 
     # -- appending -----------------------------------------------------------
 
-    def append(self, rid: int, data_line: int):
+    def append(self, rid: int, data_line: int, chained: bool = False):
         """Allocate a log entry for ``data_line`` in region ``rid``.
+
+        ``chained`` is forwarded to :meth:`LogRecord.add_entry`.
 
         Returns:
             ``(slot, entry_addr, record, opened, sealed_record)`` where
@@ -189,7 +229,7 @@ class UndoLog:
             record = LogRecord(rid, self._allocate_slot(), self.entries_per_record)
             self._open[rid] = record
             self._records_of.setdefault(rid, []).append(record)
-        slot, entry_addr = record.add_entry(data_line)
+        slot, entry_addr = record.add_entry(data_line, chained=chained)
         return slot, entry_addr, record, opened, sealed_record
 
     def open_record(self, rid: int) -> Optional[LogRecord]:

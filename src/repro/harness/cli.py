@@ -97,6 +97,11 @@ def main(argv=None) -> int:
         from repro.explore.cli import main as explore_main
 
         return explore_main(list(argv[1:]))
+    if argv and argv[0] == "recover":
+        # And the explainable-recovery replayer (--case/--explain/--json/...).
+        from repro.recovery.explain import main as recover_main
+
+        return recover_main(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="asap-repro",
@@ -105,8 +110,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help=f"one of {sorted(REGISTRY)}, 'all', 'config', 'workloads', "
-        "'summary', 'crashtest', 'fuzz' (see 'fuzz --help'), or "
-        "'explore' (see 'explore --help')",
+        "'summary', 'crashtest', 'fuzz' (see 'fuzz --help'), "
+        "'explore' (see 'explore --help'), or 'recover' "
+        "(see 'recover --help')",
     )
     parser.add_argument(
         "--full",

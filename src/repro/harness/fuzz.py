@@ -69,6 +69,14 @@ class FuzzCase:
     #: False replays the pre-fix WPQ backpressure model (regression/
     #: shrinker self-tests only)
     fifo_backpressure: bool = True
+    #: False replays the pre-fix same-line log-persist model, in which a
+    #: dependence chain's log entries for one line could become durable
+    #: out of order (regression demos only; docs/RECOVERY.md)
+    ordered_line_log_persists: bool = True
+    #: crash fractions (of total cycles) this case is known to be
+    #: sensitive to; corpus replay sweeps these in addition to the
+    #: generic evenly-spaced crash points
+    crash_fracs: List[float] = field(default_factory=list)
 
     # -- serialisation (the corpus format) ---------------------------------
 
@@ -79,6 +87,8 @@ class FuzzCase:
             "wpq_entries": self.wpq_entries,
             "jitter": self.jitter,
             "fifo_backpressure": self.fifo_backpressure,
+            "ordered_line_log_persists": self.ordered_line_log_persists,
+            "crash_fracs": self.crash_fracs,
         }
 
     @staticmethod
@@ -92,6 +102,8 @@ class FuzzCase:
             wpq_entries=data.get("wpq_entries", 4),
             jitter=[list(j) for j in data.get("jitter", [])],
             fifo_backpressure=data.get("fifo_backpressure", True),
+            ordered_line_log_persists=data.get("ordered_line_log_persists", True),
+            crash_fracs=[float(f) for f in data.get("crash_fracs", [])],
         )
 
     # -- shrinking helpers -------------------------------------------------
@@ -129,7 +141,10 @@ class FuzzCase:
 
 def build_machine(case: FuzzCase) -> Machine:
     """Instantiate the case's program on the case's machine config."""
-    config = SystemConfig.small(wpq_entries=case.wpq_entries)
+    config = SystemConfig.small(
+        wpq_entries=case.wpq_entries,
+        ordered_line_log_persists=case.ordered_line_log_persists,
+    )
     if not case.fifo_backpressure:
         config = dc_replace(
             config,
@@ -204,12 +219,21 @@ def check_crash(case: FuzzCase, at_cycle: int) -> List[str]:
 
 
 def case_failures(case: FuzzCase, crash_points: int = 0) -> List[str]:
-    """All checks for one case: no-crash plus an optional crash sweep."""
+    """All checks for one case: no-crash plus an optional crash sweep.
+
+    A case's pinned ``crash_fracs`` are always swept on top of the
+    ``crash_points`` evenly-spaced ones - corpus entries record the exact
+    crash fraction their historical failure needed.
+    """
     failures = list(check_no_crash(case))
-    if crash_points > 0:
+    if crash_points > 0 or case.crash_fracs:
         total = build_machine(case).run().cycles
-        for i in range(crash_points):
-            cycle = max(1, ((i + 1) * total) // (crash_points + 1))
+        cycles = {
+            max(1, ((i + 1) * total) // (crash_points + 1))
+            for i in range(crash_points)
+        }
+        cycles.update(max(1, int(total * frac)) for frac in case.crash_fracs)
+        for cycle in sorted(cycles):
             failures.extend(check_crash(case, cycle))
     return failures
 
@@ -303,6 +327,7 @@ def mutate_case(
         wpq_entries=rng.choice((base.wpq_entries, base.wpq_entries, 2, 3, 4, 8)),
         jitter=jitter,
         fifo_backpressure=base.fifo_backpressure,
+        ordered_line_log_persists=base.ordered_line_log_persists,
     )
 
 
@@ -469,6 +494,7 @@ def run_fuzz(
     schemes: Tuple[str, ...] = SCHEMES,
     shrink: bool = True,
     fifo_backpressure: bool = True,
+    ordered_line_log_persists: bool = True,
     corpus: Optional[List[FuzzCase]] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> FuzzReport:
@@ -498,6 +524,8 @@ def run_fuzz(
             case = generate_case(seed, index, scheme)
         if not fifo_backpressure:
             case = dc_replace(case, fifo_backpressure=False)
+        if not ordered_line_log_persists:
+            case = dc_replace(case, ordered_line_log_persists=False)
         index += 1
         report.cases += 1
         report.schemes.append(scheme)
@@ -606,6 +634,13 @@ def main(argv=None) -> int:
         "kept for shrinker demos and regression archaeology)",
     )
     parser.add_argument(
+        "--legacy-line-order",
+        action="store_true",
+        help="fuzz the pre-fix same-line log-persist model (hardened "
+        "recovery defensively skips broken undo chains, so this is "
+        "expected to stay clean; see docs/RECOVERY.md)",
+    )
+    parser.add_argument(
         "--save-failures",
         metavar="DIR",
         default=None,
@@ -627,8 +662,15 @@ def main(argv=None) -> int:
 
         for path in sorted(glob.glob(os.path.join(args.corpus, "*.json"))):
             case, _meta = load_corpus_entry(path)
-            # corpus entries may pin the legacy model; fuzz the current one
-            corpus_cases.append(dc_replace(case, fifo_backpressure=True))
+            # corpus entries may pin a legacy model; fuzz the current one
+            corpus_cases.append(
+                dc_replace(
+                    case,
+                    fifo_backpressure=True,
+                    ordered_line_log_persists=True,
+                    crash_fracs=[],
+                )
+            )
 
     schemes = SCHEMES if args.scheme == "both" else (args.scheme,)
     report = run_fuzz(
@@ -638,6 +680,7 @@ def main(argv=None) -> int:
         schemes=schemes,
         shrink=not args.no_shrink,
         fifo_backpressure=not args.legacy_backpressure,
+        ordered_line_log_persists=not args.legacy_line_order,
         corpus=corpus_cases,
         progress=lambda msg: print(f"  {msg}", file=sys.stderr, flush=True),
     )

@@ -270,6 +270,11 @@ class WritePendingQueue:
         the obligation as discharged, exactly as if the op had been
         accepted and then dropped. Returns the total number dropped; freed
         entries admit backpressured submitters in arrival order.
+
+        Ledger: ``self.dropped`` counts only *accepted* victims (so
+        ``drained + dropped <= accepted`` always holds); backpressured
+        victims count in ``self.dropped_pending`` alone, since they never
+        entered the queue's books.
         """
         victims = [op_id for op_id, op in self._entries.items() if predicate(op)]
         for op_id in victims:
@@ -292,7 +297,6 @@ class WritePendingQueue:
                     survivors.append(op)
                     continue
                 op.dropped = True
-                self.dropped += 1
                 self.dropped_pending += 1
                 dropped_pending += 1
                 if self.observer is not None:

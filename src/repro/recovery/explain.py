@@ -1,0 +1,419 @@
+"""Explainable recovery: ``asap-repro recover --explain``.
+
+Recovery is the one phase of the model with no execution trace to read -
+it runs over a dead machine's PM image and either produces a consistent
+image or it does not. This module makes its reasoning inspectable: an
+:class:`ExplainObserver` (the recovery-side twin of the simulator's
+``SimObserver`` hook idiom) records every decision point of
+:func:`repro.recovery.recover.recover` - the scan, the derived undo
+order, each line's chain validation, and every restore applied or
+defensively skipped - into a structured, deterministic JSON trace, plus a
+human narrative rendered from the same data.
+
+The trace format is versioned (:data:`SCHEMA_VERSION`) and validated by
+:func:`validate_trace` against :data:`TRACE_SCHEMA` (a small hand-rolled
+checker; the repo deliberately has no jsonschema dependency). CI smokes
+the whole path on the regression corpus. Worked example and field-by-
+field description: docs/RECOVERY.md.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.mem.image import MemoryImage
+from repro.recovery.crash import CrashState
+from repro.recovery.recover import RecoveryObserver, RecoveryReport, recover
+
+SCHEMA_VERSION = 1
+
+#: the trace's shape: field -> (type, required). "list[dict]" values are
+#: checked per-element against the nested spec in :data:`_NESTED`.
+TRACE_SCHEMA: Dict[str, Tuple[type, bool]] = {
+    "schema_version": (int, True),
+    "log_kind": (str, True),
+    "crash_cycle": (int, True),
+    "ordered_line_log_persists": (bool, True),
+    "defensive": (bool, True),
+    "uncommitted": (list, True),  # [rid, ...]
+    "dependence_entries": (list, True),  # persisted Dependence List
+    "order": (list, True),  # undo/replay order, [rid, ...]
+    "records": (list, True),
+    "chains": (list, True),
+    "decisions": (list, True),
+    "summary": (dict, True),
+}
+
+_NESTED: Dict[str, Dict[str, Tuple[type, bool]]] = {
+    "records": {
+        "rid": (int, True),
+        "header_addr": (int, True),
+        "entries": (list, True),  # [{line, entry_addr, chained}]
+    },
+    "chains": {
+        "line": (int, True),
+        "writers": (list, True),  # undo order (dependents first)
+        "complete": (bool, True),
+        "reason": (str, False),
+    },
+    "decisions": {
+        "step": (int, True),
+        "action": (str, True),  # "restore" | "skip"
+        "rid": (int, True),
+        "line": (int, True),
+        "entry_addr": (int, True),
+        "reason": (str, False),
+    },
+    "summary": {
+        "undone_rids": (list, True),
+        "restored_lines": (int, True),
+        "skipped_lines": (int, True),
+        "records_scanned": (int, True),
+        "records_matched": (int, True),
+        "estimated_cycles": (int, True),
+        "consistent": (bool, False),  # present when verified against a run
+    },
+}
+
+
+def validate_trace(trace: dict) -> List[str]:
+    """Check a trace against :data:`TRACE_SCHEMA`; returns problem strings
+    (empty means valid)."""
+    problems: List[str] = []
+    if not isinstance(trace, dict):
+        return [f"trace is {type(trace).__name__}, expected dict"]
+    for key, (typ, required) in TRACE_SCHEMA.items():
+        if key not in trace:
+            if required:
+                problems.append(f"missing field {key!r}")
+            continue
+        if not isinstance(trace[key], typ):
+            problems.append(
+                f"field {key!r} is {type(trace[key]).__name__}, "
+                f"expected {typ.__name__}"
+            )
+    for key in ("records", "chains", "decisions"):
+        spec = _NESTED[key]
+        for i, item in enumerate(trace.get(key) or []):
+            if not isinstance(item, dict):
+                problems.append(f"{key}[{i}] is not an object")
+                continue
+            for fkey, (ftyp, frequired) in spec.items():
+                if fkey not in item:
+                    if frequired:
+                        problems.append(f"{key}[{i}] missing {fkey!r}")
+                elif not isinstance(item[fkey], ftyp):
+                    problems.append(
+                        f"{key}[{i}].{fkey} is {type(item[fkey]).__name__}, "
+                        f"expected {ftyp.__name__}"
+                    )
+    summary = trace.get("summary")
+    if isinstance(summary, dict):
+        for fkey, (ftyp, frequired) in _NESTED["summary"].items():
+            if fkey not in summary:
+                if frequired:
+                    problems.append(f"summary missing {fkey!r}")
+            elif not isinstance(summary[fkey], ftyp):
+                problems.append(
+                    f"summary.{fkey} is {type(summary[fkey]).__name__}, "
+                    f"expected {ftyp.__name__}"
+                )
+    if trace.get("schema_version") not in (None, SCHEMA_VERSION):
+        problems.append(
+            f"schema_version {trace['schema_version']} != {SCHEMA_VERSION}"
+        )
+    return problems
+
+
+class ExplainObserver(RecoveryObserver):
+    """Records every recovery decision point into a JSON-able trace."""
+
+    def __init__(self):
+        self.records: List[dict] = []
+        self.chains: List[dict] = []
+        self.decisions: List[dict] = []
+        self.order: List[int] = []
+        self.dependence_entries: List[dict] = []
+        self.uncommitted: List[int] = []
+        self.markers: List[dict] = []
+        self._step = 0
+
+    # -- RecoveryObserver events ------------------------------------------
+
+    def scan_started(self, state: CrashState, uncommitted: Set[int]) -> None:
+        self.uncommitted = sorted(uncommitted)
+
+    def record_matched(self, rid: int, header_addr: int, entries) -> None:
+        self.records.append(
+            {
+                "rid": rid,
+                "header_addr": header_addr,
+                "entries": [
+                    {"line": line, "entry_addr": addr, "chained": chained}
+                    for line, addr, chained in entries
+                ],
+            }
+        )
+
+    def order_computed(self, order: List[int], entries: List[dict]) -> None:
+        self.order = list(order)
+        self.dependence_entries = [
+            {"rid": e["rid"], "deps": sorted(e["deps"])} for e in entries
+        ]
+
+    def chain_checked(self, line: int, writers: List[int], complete: bool,
+                      reason: str) -> None:
+        self.chains.append(
+            {
+                "line": line,
+                "writers": list(writers),
+                "complete": complete,
+                "reason": reason,
+            }
+        )
+
+    def restore_applied(self, rid: int, line: int, entry_addr: int) -> None:
+        self._step += 1
+        self.decisions.append(
+            {
+                "step": self._step,
+                "action": "restore",
+                "rid": rid,
+                "line": line,
+                "entry_addr": entry_addr,
+            }
+        )
+
+    def restore_skipped(self, rid: int, line: int, entry_addr: int,
+                        reason: str) -> None:
+        self._step += 1
+        self.decisions.append(
+            {
+                "step": self._step,
+                "action": "skip",
+                "rid": rid,
+                "line": line,
+                "entry_addr": entry_addr,
+                "reason": reason,
+            }
+        )
+
+    def marker_found(self, rid: int, seq: int) -> None:
+        self.markers.append({"rid": rid, "seq": seq})
+
+    # -- trace assembly ----------------------------------------------------
+
+    def trace(self, state: CrashState, report: RecoveryReport,
+              defensive: bool) -> dict:
+        out = {
+            "schema_version": SCHEMA_VERSION,
+            "log_kind": state.log_kind,
+            "crash_cycle": state.crash_cycle,
+            "ordered_line_log_persists": state.ordered_line_log_persists,
+            "defensive": defensive,
+            "uncommitted": self.uncommitted
+            or sorted(e["rid"] for e in state.dependence_entries),
+            "dependence_entries": self.dependence_entries
+            or [
+                {"rid": e["rid"], "deps": sorted(e["deps"])}
+                for e in state.dependence_entries
+            ],
+            "order": self.order,
+            "records": self.records,
+            "chains": self.chains,
+            "decisions": self.decisions,
+            "summary": {
+                "undone_rids": list(report.undone_rids),
+                "restored_lines": report.restored_lines,
+                "skipped_lines": report.skipped_lines,
+                "records_scanned": report.records_scanned,
+                "records_matched": report.records_matched,
+                "estimated_cycles": report.estimated_cycles,
+            },
+        }
+        if self.markers:
+            out["markers"] = self.markers
+        return out
+
+
+def explain_recovery(
+    state: CrashState, defensive: bool = True
+) -> Tuple[MemoryImage, RecoveryReport, dict]:
+    """Run :func:`~repro.recovery.recover.recover` with an
+    :class:`ExplainObserver` attached; returns the recovered image, the
+    report, and the (schema-valid, deterministic) trace."""
+    observer = ExplainObserver()
+    image, report = recover(state, defensive=defensive, observer=observer)
+    return image, report, observer.trace(state, report, defensive)
+
+
+def render_narrative(trace: dict) -> str:
+    """The trace as a step-by-step human-readable recovery story."""
+    lines: List[str] = []
+    kind = trace["log_kind"]
+    lines.append(
+        f"crash at cycle {trace['crash_cycle']} ({kind} log, "
+        + (
+            "ordered same-line log persists"
+            if trace["ordered_line_log_persists"]
+            else "LEGACY unordered same-line log persists"
+        )
+        + ")"
+    )
+    unc = trace["uncommitted"]
+    lines.append(
+        f"dependence list: {len(unc)} uncommitted region(s) "
+        f"{[hex(r) for r in unc]}"
+    )
+    for e in trace["dependence_entries"]:
+        deps = ", ".join(hex(d) for d in e["deps"]) or "none"
+        lines.append(f"  region {e['rid']:#x}: outstanding deps {deps}")
+    verb = "replay (commit-marker) order" if kind == "redo" else "undo order"
+    lines.append(
+        f"{verb}: " + (" -> ".join(hex(r) for r in trace["order"]) or "empty")
+    )
+    lines.append(
+        f"log scan: {trace['summary']['records_scanned']} record(s) read, "
+        f"{trace['summary']['records_matched']} matched"
+    )
+    for rec in trace["records"]:
+        ent = ", ".join(
+            f"{e['line']:#x}{' (chained)' if e['chained'] else ''}"
+            for e in rec["entries"]
+        )
+        lines.append(
+            f"  record @{rec['header_addr']:#x} rid {rec['rid']:#x}: "
+            f"entries [{ent or 'none confirmed'}]"
+        )
+    for chain in trace["chains"]:
+        verdict = "complete" if chain["complete"] else "BROKEN"
+        lines.append(
+            f"chain for line {chain['line']:#x}: writers "
+            f"{[hex(w) for w in chain['writers']]} -> {verdict}"
+        )
+        if chain["reason"]:
+            lines.append(f"    {chain['reason']}")
+    for d in trace["decisions"]:
+        if d["action"] == "restore":
+            lines.append(
+                f"step {d['step']}: restore line {d['line']:#x} from log "
+                f"entry @{d['entry_addr']:#x} (region {d['rid']:#x})"
+            )
+        else:
+            lines.append(
+                f"step {d['step']}: SKIP line {d['line']:#x} "
+                f"(region {d['rid']:#x}): {d.get('reason', '')}"
+            )
+    s = trace["summary"]
+    tail = (
+        f"done: {len(s['undone_rids'])} region(s) processed, "
+        f"{s['restored_lines']} line(s) restored"
+    )
+    if s["skipped_lines"]:
+        tail += f", {s['skipped_lines']} line(s) defensively left untouched"
+    tail += f", ~{s['estimated_cycles']} cycles"
+    if "consistent" in s:
+        tail += (
+            "; verified CONSISTENT" if s["consistent"] else "; INCONSISTENT"
+        )
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+# -- CLI (the ``asap-repro recover`` subcommand) ----------------------------
+
+
+def main(argv=None) -> int:
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="asap-repro recover",
+        description="Crash a corpus case and replay recovery step by step",
+    )
+    parser.add_argument(
+        "--case",
+        required=True,
+        metavar="FILE.json",
+        help="a fuzz-corpus case file (tests/property/corpus/*.json)",
+    )
+    parser.add_argument(
+        "--crash-frac",
+        type=float,
+        default=None,
+        metavar="F",
+        help="crash at F * total cycles (default: the case's first pinned "
+        "crash_frac, else 0.5)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the step-by-step recovery narrative",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write the structured recovery trace as JSON to FILE "
+        "('-' for stdout)",
+    )
+    parser.add_argument(
+        "--legacy-line-order",
+        action="store_true",
+        help="run the case under the pre-fix same-line log-persist model",
+    )
+    parser.add_argument(
+        "--no-defensive",
+        action="store_true",
+        help="disable recovery's chain-completeness validation (reproduces "
+        "the raw pre-fix corruption on legacy images)",
+    )
+    args = parser.parse_args(argv)
+
+    from dataclasses import replace as dc_replace
+
+    from repro.harness.fuzz import build_machine, load_corpus_entry
+    from repro.recovery.crash import crash_machine
+    from repro.recovery.verify import verify_recovery
+
+    case, _meta = load_corpus_entry(args.case)
+    if args.legacy_line_order:
+        case = dc_replace(case, ordered_line_log_persists=False)
+    frac = args.crash_frac
+    if frac is None:
+        frac = case.crash_fracs[0] if case.crash_fracs else 0.5
+
+    total = build_machine(case).run().cycles
+    at_cycle = max(1, int(total * frac))
+    machine = build_machine(case)
+    state = crash_machine(machine, at_cycle=at_cycle)
+    image, report, trace = explain_recovery(
+        state, defensive=not args.no_defensive
+    )
+    verdict = verify_recovery(machine, image)
+    trace["summary"]["consistent"] = verdict.ok
+
+    problems = validate_trace(trace)
+    if args.explain:
+        print(render_narrative(trace))
+    if args.json:
+        payload = json.dumps(trace, indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload)
+            print(f"wrote {args.json}")
+    if not args.explain and not args.json:
+        print(render_narrative(trace))
+    print(verdict.explain())
+    for p in problems:
+        print(f"trace schema problem: {p}", file=sys.stderr)
+    return 0 if verdict.ok and not problems else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

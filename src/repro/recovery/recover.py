@@ -10,17 +10,75 @@ Steps, exactly as described:
    areas for headers whose RID matches) and restore the old data values -
    dependents first, so that a line written by a chain of uncommitted
    regions unwinds to the value the last *committed* region gave it.
+
+Invariants this module relies on (and defends; docs/RECOVERY.md):
+
+* **Confirmed-entry rule**: a durable header never names an entry whose
+  logged value is not itself durable (the LH-WPQ seals headers lazily and
+  only over confirmed slots), so every ``(header word, entry line)`` pair
+  recovery reads is internally consistent.
+* **Per-line chain completeness** (``ordered_line_log_persists``): if a
+  region's log entry for line L is durable, every earlier *uncommitted*
+  writer of L in the dependence chain has a durable entry for L too. Step
+  3 is only correct under this invariant - the entry restored last for L
+  (the chain's earliest uncommitted writer's) is the only one whose "old
+  value" predates the whole uncommitted chain. Images crashed under the
+  legacy pre-fix model (``CrashState.ordered_line_log_persists`` False)
+  do not carry the invariant; for those, :func:`recover` validates each
+  line's chain via the durable :data:`~repro.core.log.CHAIN_BIT` flags
+  and *skips* (with a diagnostic) every restore of a line whose chain is
+  broken - the LockBit protocol guarantees PM still holds the committed
+  value in exactly that case, so skipping never makes the image worse.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.errors import RecoveryError
 from repro.common.units import CACHE_LINE_BYTES, WORD_BYTES
+from repro.core.log import decode_slot_word
 from repro.mem.image import MemoryImage
 from repro.recovery.crash import CrashState
+
+
+class RecoveryObserver:
+    """No-op observer of the recovery procedure's decision points.
+
+    The recovery-side mirror of :class:`repro.common.observe.SimObserver`:
+    subclass and override the events of interest; handlers must not mutate
+    what they are handed. The explainable-recovery layer
+    (:mod:`repro.recovery.explain`) is the primary consumer.
+    """
+
+    def scan_started(self, state: "CrashState", uncommitted: Set[int]) -> None:
+        """Log scanning begins over the crash image's log directory."""
+
+    def record_matched(self, rid: int, header_addr: int, entries) -> None:
+        """A durable record header of an in-scope region was found;
+        ``entries`` is its [(data_line, entry_addr, chained)] list."""
+
+    def order_computed(self, order: List[int], entries: List[dict]) -> None:
+        """The undo (or replay) order was derived from the crash state."""
+
+    def chain_checked(self, line: int, writers: List[int], complete: bool,
+                      reason: str) -> None:
+        """Line ``line``'s undo chain was validated; ``writers`` is its
+        durable uncommitted writers in undo (dependents-first) order."""
+
+    def restore_applied(self, rid: int, line: int, entry_addr: int) -> None:
+        """A logged old value was installed over ``line``."""
+
+    def restore_skipped(self, rid: int, line: int, entry_addr: int,
+                        reason: str) -> None:
+        """A restore was defensively skipped (broken chain)."""
+
+    def region_processed(self, rid: int) -> None:
+        """All of ``rid``'s records were handled (undone or replayed)."""
+
+    def marker_found(self, rid: int, seq: int) -> None:
+        """Redo: a durable commit marker was found."""
 
 
 @dataclass
@@ -31,6 +89,10 @@ class RecoveryReport:
     restored_lines: int = 0
     records_scanned: int = 0
     records_matched: int = 0
+    #: restores defensively skipped because the line's undo chain was
+    #: incomplete (legacy images only; each item is a diagnostic dict
+    #: ``{"line", "rid", "entry_addr", "reason"}``)
+    skipped_restores: List[dict] = field(default_factory=list)
 
     #: simple cost model for the software recovery pass (cycles): one PM
     #: line read per scanned record header, one read + one write per
@@ -42,6 +104,11 @@ class RecoveryReport:
     @property
     def undone_count(self) -> int:
         return len(self.undone_rids)
+
+    @property
+    def skipped_lines(self) -> int:
+        """Distinct lines whose restores were defensively skipped."""
+        return len({d["line"] for d in self.skipped_restores})
 
     @property
     def estimated_cycles(self) -> int:
@@ -93,16 +160,24 @@ def _undo_order(entries: List[dict]) -> List[int]:
     return order
 
 
-def _scan_logs(state: CrashState, uncommitted: Set[int], report: RecoveryReport):
+def _scan_logs(
+    state: CrashState,
+    uncommitted: Set[int],
+    report: RecoveryReport,
+    observer: Optional[RecoveryObserver] = None,
+):
     """Find every uncommitted region's log records in the PM image.
 
-    Returns {rid: [(data_line, entry_addr), ...]} in record-slot order.
-    RIDs are unique for the lifetime of a run (monotonic LocalRIDs), so a
-    stale header from a committed region can never alias an uncommitted
-    one.
+    Returns {rid: [(data_line, entry_addr, chained), ...]} in record-slot
+    order; ``chained`` is the durable CHAIN_BIT flag (the entry's line had
+    an uncommitted previous writer when it was logged). RIDs are unique
+    for the lifetime of a run (monotonic LocalRIDs), so a stale header
+    from a committed region can never alias an uncommitted one.
     """
-    found: Dict[int, List[Tuple[int, int]]] = {rid: [] for rid in uncommitted}
+    found: Dict[int, List[Tuple[int, int, bool]]] = {rid: [] for rid in uncommitted}
     pm = state.pm_image
+    if observer is not None:
+        observer.scan_started(state, set(uncommitted))
     for tid, segments in state.log_directory.items():
         for base, num_records, stride in segments:
             for i in range(num_records):
@@ -112,52 +187,145 @@ def _scan_logs(state: CrashState, uncommitted: Set[int], report: RecoveryReport)
                 if rid not in uncommitted:
                     continue
                 report.records_matched += 1
+                entries: List[Tuple[int, int, bool]] = []
                 for slot in range(state.entries_per_record):
-                    data_line = pm.read_word(header + (1 + slot) * WORD_BYTES)
-                    if data_line == 0:
+                    word = pm.read_word(header + (1 + slot) * WORD_BYTES)
+                    if word == 0:
                         # Unused slot - or an entry whose LPO never reached
                         # the persistence domain. Skipping is safe: the
                         # LockBit guarantees such a line's new data never
                         # persisted either (no DPO, no eviction writeback).
                         continue
+                    data_line, chained = decode_slot_word(word)
                     entry_addr = header + (1 + slot) * CACHE_LINE_BYTES
-                    found[rid].append((data_line, entry_addr))
+                    entries.append((data_line, entry_addr, chained))
+                found[rid].extend(entries)
+                if observer is not None:
+                    observer.record_matched(rid, header, entries)
     return found
 
 
-def recover(state: CrashState) -> Tuple[MemoryImage, RecoveryReport]:
+def _broken_chain_lines(
+    state: CrashState,
+    order: List[int],
+    logs: Dict[int, List[Tuple[int, int, bool]]],
+    observer: Optional[RecoveryObserver] = None,
+) -> Dict[int, Tuple[int, str]]:
+    """Per-line chain validation for legacy (pre-fix) crash images.
+
+    For each line the final restored value is the one installed *last* in
+    undo order - the chain's earliest durable uncommitted writer. If that
+    writer's entry is ``chained`` (its predecessor was uncommitted when it
+    logged) and the writer still has live uncommitted dependencies, the
+    predecessor's entry for the line should have been durable too but is
+    not: the chain is broken, and the "old value" about to be installed is
+    data that never durably existed. (If none of the writer's deps is
+    still uncommitted, every region it read from committed, so its logged
+    value is committed data and the restore is sound.)
+
+    Returns {line: (earliest_durable_rid, reason)} for the broken lines -
+    **all** restores of such a line must be skipped, as one unit: the
+    LockBit protocol kept every chained DPO for the line out of PM while
+    any same-line LPO was unaccepted, so PM still holds the value the last
+    committed writer gave it, and leaving it untouched is consistent.
+    """
+    uncommitted = {e["rid"] for e in state.dependence_entries}
+    deps_of = {e["rid"]: set(e["deps"]) for e in state.dependence_entries}
+    by_line: Dict[int, List[Tuple[int, bool]]] = {}
+    for rid in order:
+        for data_line, _entry_addr, chained in logs.get(rid, ()):
+            by_line.setdefault(data_line, []).append((rid, chained))
+    broken: Dict[int, Tuple[int, str]] = {}
+    for line, writers in sorted(by_line.items()):
+        earliest_rid, earliest_chained = writers[-1]  # installed last
+        live_deps = sorted(deps_of.get(earliest_rid, set()) & uncommitted)
+        complete = not (earliest_chained and live_deps)
+        reason = ""
+        if not complete:
+            reason = (
+                f"entry of region {earliest_rid} is mid-chain (CHAIN_BIT) "
+                f"but no durable predecessor entry for line {line:#x} "
+                f"exists among its live dependencies {live_deps}"
+            )
+            broken[line] = (earliest_rid, reason)
+        if observer is not None:
+            observer.chain_checked(
+                line, [w for w, _c in writers], complete, reason
+            )
+    return broken
+
+
+def recover(
+    state: CrashState,
+    defensive: bool = True,
+    observer: Optional[RecoveryObserver] = None,
+) -> Tuple[MemoryImage, RecoveryReport]:
     """Run recovery; returns the repaired PM image and a report.
 
     Dispatches on the crash state's log kind: the paper's undo procedure
     (Sec. 5.5) or the replay procedure of the asap_redo extension. The
     input image is not modified; recovery works on a copy, as a real
     implementation would only write whole restored lines.
+
+    ``defensive`` (default on) validates per-line undo-chain completeness
+    before restoring. On images crashed under the fixed scheme this never
+    fires (the ordering rule makes every durable chain complete); on
+    legacy images (``state.ordered_line_log_persists`` False) it skips
+    restores of lines whose chain is broken instead of installing values
+    that never durably existed - see :func:`_broken_chain_lines`. Pass
+    ``defensive=False`` to reproduce the raw pre-fix corruption in
+    regression demos.
     """
     if state.log_kind == "redo":
-        return recover_redo(state)
+        return recover_redo(state, observer=observer)
     report = RecoveryReport()
     image = state.pm_image.copy()
     if not state.dependence_entries:
         return image, report
     uncommitted = {e["rid"] for e in state.dependence_entries}
     order = _undo_order(state.dependence_entries)
-    logs = _scan_logs(state, uncommitted, report)
+    if observer is not None:
+        observer.order_computed(order, state.dependence_entries)
+    logs = _scan_logs(state, uncommitted, report, observer=observer)
+    broken: Dict[int, Tuple[int, str]] = {}
+    if defensive and not state.ordered_line_log_persists:
+        broken = _broken_chain_lines(state, order, logs, observer=observer)
     for rid in order:
         # Undo this region: restore each logged line's old value. Within a
         # region a line is logged at most once (first write), so record
         # order is irrelevant.
-        for data_line, entry_addr in logs.get(rid, ()):
+        for data_line, entry_addr, _chained in logs.get(rid, ()):
+            if data_line in broken:
+                reason = broken[data_line][1]
+                report.skipped_restores.append(
+                    {
+                        "line": data_line,
+                        "rid": rid,
+                        "entry_addr": entry_addr,
+                        "reason": reason,
+                    }
+                )
+                if observer is not None:
+                    observer.restore_skipped(rid, data_line, entry_addr, reason)
+                continue
             payload = {
                 data_line + off: image.read_word(entry_addr + off)
                 for off in range(0, CACHE_LINE_BYTES, WORD_BYTES)
             }
             image.apply(payload)
             report.restored_lines += 1
+            if observer is not None:
+                observer.restore_applied(rid, data_line, entry_addr)
         report.undone_rids.append(rid)
+        if observer is not None:
+            observer.region_processed(rid)
     return image, report
 
 
-def recover_redo(state: CrashState) -> Tuple[MemoryImage, RecoveryReport]:
+def recover_redo(
+    state: CrashState,
+    observer: Optional[RecoveryObserver] = None,
+) -> Tuple[MemoryImage, RecoveryReport]:
     """Recovery for asynchronous-commit *redo* logging (the Fig. 2c
     extension implemented by ``asap_redo``).
 
@@ -169,6 +337,10 @@ def recover_redo(state: CrashState) -> Tuple[MemoryImage, RecoveryReport]:
     redo logging never let their data reach its home addresses. A marked
     region with no surviving records already completed its in-place
     updates before reclaiming its log, so the replay is a no-op for it.
+
+    Per-line chain validation is not needed here: a marker is issued only
+    after every LPO of its region was accepted, so every replayed value is
+    durable by construction (see :mod:`repro.persist.asap_redo`).
     """
     report = RecoveryReport()
     image = state.pm_image.copy()
@@ -184,16 +356,26 @@ def recover_redo(state: CrashState) -> Tuple[MemoryImage, RecoveryReport]:
                     markers.append((seq, rid))
     markers.sort()
     committed = {rid for _seq, rid in markers}
+    if observer is not None:
+        for seq, rid in markers:
+            observer.marker_found(rid, seq)
+        observer.order_computed(
+            [rid for _seq, rid in markers], state.dependence_entries
+        )
     # 2. Locate surviving log records of the marked regions.
-    logs = _scan_logs(state, committed, report)
+    logs = _scan_logs(state, committed, report, observer=observer)
     # 3. Replay in commit order: later regions' values overwrite earlier.
     for _seq, rid in markers:
-        for data_line, entry_addr in logs.get(rid, ()):
+        for data_line, entry_addr, _chained in logs.get(rid, ()):
             payload = {
                 data_line + off: image.read_word(entry_addr + off)
                 for off in range(0, CACHE_LINE_BYTES, WORD_BYTES)
             }
             image.apply(payload)
             report.restored_lines += 1
+            if observer is not None:
+                observer.restore_applied(rid, data_line, entry_addr)
         report.undone_rids.append(rid)  # "processed", for redo
+        if observer is not None:
+            observer.region_processed(rid)
     return image, report

@@ -8,6 +8,13 @@ holds. This single comparison implies:
 * **durability** - a committed region's writes all survive,
 * **ordering** - since schemes only report commits in dependence order,
   the surviving set is dependence-closed.
+
+It also implies the recovery-side invariant of docs/RECOVERY.md:
+recovery must never make a consistent image worse. A defensively
+*skipped* restore (broken undo chain on a legacy image; see
+``repro.recovery.recover``) passes this check precisely because PM still
+holds the committed value on the affected line - the oracle comparison
+would catch a skip that was merely cautious rather than correct.
 """
 
 from __future__ import annotations

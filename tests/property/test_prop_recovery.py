@@ -73,6 +73,25 @@ def build_machine(threads, wpq_entries):
     crash_frac=st.floats(0.05, 0.98),
     wpq_entries=st.sampled_from([1, 4, 16]),
 )
+# The incomplete-undo-chain recovery bug fixed by per-line LPO ordering
+# (pinned forever; see tests/property/corpus/
+# undo-incomplete-line-chain-wpq1.json and docs/RECOVERY.md): on a
+# 1-entry WPQ, a crashed chain of regions rewriting line 1 left the last
+# writer's log entry durable while its predecessor's was backpressured
+# and lost, so recovery installed an "old value" that never durably
+# existed (0x0 over the committed 0x1).
+@example(
+    threads=[
+        [
+            [(0, False, 0), (1, False, 1), (2, False, 0), (4, False, 0)],
+            [(0, False, 0), (1, False, 0)],
+            [(1, False, 0)],
+            [(0, False, 0)],
+        ]
+    ],
+    crash_frac=0.96875,
+    wpq_entries=1,
+)
 def test_recovery_consistent_at_any_crash_point(threads, crash_frac, wpq_entries):
     total = build_machine(threads, wpq_entries).run().cycles
     m = build_machine(threads, wpq_entries)

@@ -69,8 +69,12 @@ def test_wpq_invariants_under_random_schedules(script, capacity, watermark, lazy
         assert q.accepted <= submitted
         assert q.drained + q.dropped <= q.accepted
     s.run()
-    # every accepted op eventually drains or was dropped
-    assert q.drained + q.dropped + len(q._backpressure) + len(q) == submitted
+    # every submitted op eventually drains, is dropped (accepted or still
+    # backpressured), or remains parked/queued
+    assert (
+        q.drained + q.dropped + q.dropped_pending + len(q._backpressure) + len(q)
+        == submitted
+    )
     assert len(q) == 0 or q.accepted < submitted  # queue empties unless parked
 
 

@@ -1,0 +1,104 @@
+"""Unit tests for the explainable-recovery layer (recovery/explain.py)."""
+
+import json
+import os
+
+from repro.harness.fuzz import build_machine, load_corpus_entry
+from repro.recovery import crash_machine, explain_recovery, validate_trace, verify_recovery
+from repro.recovery.explain import SCHEMA_VERSION, render_narrative
+
+CORPUS = os.path.join(
+    os.path.dirname(__file__), "..", "property", "corpus",
+    "undo-incomplete-line-chain-wpq1.json",
+)
+
+
+def crash_corpus_case(legacy=False):
+    from dataclasses import replace as dc_replace
+
+    case, _meta = load_corpus_entry(CORPUS)
+    if legacy:
+        case = dc_replace(case, ordered_line_log_persists=False)
+    total = build_machine(case).run().cycles
+    m = build_machine(case)
+    state = crash_machine(m, at_cycle=int(total * case.crash_fracs[0]))
+    return m, state
+
+
+def test_trace_is_schema_valid():
+    _m, state = crash_corpus_case()
+    _image, _report, trace = explain_recovery(state)
+    assert validate_trace(trace) == []
+    assert trace["schema_version"] == SCHEMA_VERSION
+
+
+def test_trace_is_deterministic_and_json_safe():
+    _m, state = crash_corpus_case()
+    _i1, _r1, trace1 = explain_recovery(state)
+    _i2, _r2, trace2 = explain_recovery(state)
+    assert json.dumps(trace1, sort_keys=True) == json.dumps(trace2, sort_keys=True)
+
+
+def test_explain_matches_plain_recovery():
+    """The observer must not perturb recovery's result."""
+    from repro.recovery import recover
+
+    _m, state = crash_corpus_case(legacy=True)
+    plain_image, plain_report = recover(state)
+    explained_image, report, trace = explain_recovery(state)
+    assert sorted(plain_image.items()) == sorted(explained_image.items())
+    assert plain_report.skipped_restores == report.skipped_restores
+    assert trace["summary"]["skipped_lines"] == report.skipped_lines
+
+
+def test_trace_records_skip_decisions_on_legacy_image():
+    m, state = crash_corpus_case(legacy=True)
+    image, _report, trace = explain_recovery(state)
+    assert verify_recovery(m, image).ok
+    assert trace["ordered_line_log_persists"] is False
+    skips = [d for d in trace["decisions"] if d["action"] == "skip"]
+    assert skips and all("CHAIN_BIT" in d["reason"] for d in skips)
+    broken = [c for c in trace["chains"] if not c["complete"]]
+    assert {c["line"] for c in broken} == {d["line"] for d in skips}
+
+
+def test_narrative_renders_every_decision():
+    _m, state = crash_corpus_case(legacy=True)
+    _image, _report, trace = explain_recovery(state)
+    text = render_narrative(trace)
+    assert "LEGACY" in text
+    assert "undo order" in text
+    for d in trace["decisions"]:
+        assert f"step {d['step']}" in text
+    assert "defensively left untouched" in text
+
+
+def test_validate_trace_flags_malformed_traces():
+    assert validate_trace([]) != []
+    assert any("missing" in p for p in validate_trace({}))
+    _m, state = crash_corpus_case()
+    _i, _r, trace = explain_recovery(state)
+    trace["decisions"].append({"step": "x"})
+    problems = validate_trace(trace)
+    assert any("decisions" in p for p in problems)
+
+
+def test_recover_cli_smoke(tmp_path, capsys):
+    from repro.recovery.explain import main
+
+    out = tmp_path / "trace.json"
+    rc = main(["--case", CORPUS, "--explain", "--json", str(out)])
+    assert rc == 0
+    trace = json.loads(out.read_text())
+    assert validate_trace(trace) == []
+    assert trace["summary"]["consistent"] is True
+    printed = capsys.readouterr().out
+    assert "crash at cycle" in printed
+
+
+def test_recover_cli_reports_legacy_corruption(capsys):
+    from repro.recovery.explain import main
+
+    rc = main(["--case", CORPUS, "--legacy-line-order", "--no-defensive"])
+    assert rc == 1
+    assert "INCONSISTENT" in capsys.readouterr().out

@@ -4,6 +4,7 @@ import pytest
 
 from repro.common.errors import RecoveryError
 from repro.common.units import CACHE_LINE_BYTES, WORD_BYTES
+from repro.core.log import encode_slot_word
 from repro.mem.image import MemoryImage
 from repro.recovery.crash import CrashState
 from repro.recovery.recover import _scan_logs, _undo_order, recover, recover_redo
@@ -52,7 +53,7 @@ def test_undo_order_independent_regions_any_order():
 # -- _scan_logs ----------------------------------------------------------------
 
 
-def make_state(pm, log_dir, deps=(), markers=None):
+def make_state(pm, log_dir, deps=(), markers=None, ordered=True):
     return CrashState(
         pm_image=pm,
         dependence_entries=list(deps),
@@ -60,14 +61,22 @@ def make_state(pm, log_dir, deps=(), markers=None):
         entries_per_record=7,
         marker_directory=markers or {},
         log_kind="redo" if markers else "undo",
+        ordered_line_log_persists=ordered,
     )
 
 
 def write_record(pm, header, rid, entries):
-    """Write a record header + entries directly into a PM image."""
+    """Write a record header + entries directly into a PM image.
+
+    Each entry is ``(data_line, values)`` or ``(data_line, values, chained)``.
+    """
     pm.write_word(header, rid)
-    for i, (data_line, values) in enumerate(entries):
-        pm.write_word(header + (1 + i) * WORD_BYTES, data_line)
+    for i, e in enumerate(entries):
+        data_line, values = e[0], e[1]
+        chained = e[2] if len(e) > 2 else False
+        pm.write_word(
+            header + (1 + i) * WORD_BYTES, encode_slot_word(data_line, chained)
+        )
         entry_addr = header + (1 + i) * CACHE_LINE_BYTES
         for off, v in enumerate(values):
             pm.write_word(entry_addr + 8 * off, v)
@@ -95,7 +104,17 @@ def test_scan_logs_skips_holes():
     pm.write_word(LOG + 16, PM + 128)  # slot 1: confirmed
     state = make_state(pm, {0: [(LOG, 1, 8 * 64)]})
     found = _scan_logs(state, {11}, RecoveryReport())
-    assert found[11] == [(PM + 128, LOG + 2 * 64)]
+    assert found[11] == [(PM + 128, LOG + 2 * 64, False)]
+
+
+def test_scan_logs_decodes_chain_bit():
+    """The CHAIN_BIT rides in the slot word's low bits; the decoded line
+    address stays 64-byte aligned."""
+    pm = MemoryImage()
+    write_record(pm, LOG, 11, [(PM, [1], True), (PM + 64, [2])])
+    state = make_state(pm, {0: [(LOG, 1, 8 * 64)]})
+    found = _scan_logs(state, {11}, RecoveryReport())
+    assert found[11] == [(PM, LOG + 64, True), (PM + 64, LOG + 128, False)]
 
 
 # -- recover (undo) ---------------------------------------------------------------
@@ -141,6 +160,93 @@ def test_recover_no_uncommitted_is_identity():
     image, report = recover(state)
     assert image.read_word(PM) == 42
     assert report.undone_count == 0
+
+
+# -- defensive chain validation (legacy images) ---------------------------------
+
+
+def _broken_chain_state(ordered):
+    """rid 13 (chained to uncommitted rid 12) has the only durable entry
+    for line PM; rid 12's entry for PM was lost at the crash - the broken
+    undo chain of docs/RECOVERY.md."""
+    pm = MemoryImage()
+    pm.write_word(PM, 300)  # current (from region 13)
+    write_record(pm, LOG, 12, [])  # header durable, entry for PM lost
+    write_record(pm, LOG + 512, 13, [(PM, [200, 0, 0, 0, 0, 0, 0, 0], True)])
+    return pm, make_state(
+        pm,
+        {0: [(LOG, 2, 512)]},
+        deps=[entry(12), entry(13, deps=[12])],
+        ordered=ordered,
+    )
+
+
+def test_defensive_skips_broken_chain_on_legacy_image():
+    pm, state = _broken_chain_state(ordered=False)
+    image, report = recover(state)
+    # rid 13's "old value" 200 never durably existed: leave PM alone
+    assert image.read_word(PM) == 300
+    assert report.restored_lines == 0
+    assert report.skipped_lines == 1
+    assert report.skipped_restores[0]["line"] == PM
+    assert report.skipped_restores[0]["rid"] == 13
+    assert "CHAIN_BIT" in report.skipped_restores[0]["reason"]
+
+
+def test_defensive_false_reproduces_raw_corruption():
+    pm, state = _broken_chain_state(ordered=False)
+    image, report = recover(state, defensive=False)
+    assert image.read_word(PM) == 200  # the never-durable value
+    assert report.skipped_restores == []
+
+
+def test_defensive_trusts_ordered_images():
+    """Under the fixed scheme "earliest durable writer is chained" happens
+    legitimately whenever the predecessor committed (its log is freed at
+    commit), so the validation must not fire on ordered images."""
+    pm, state = _broken_chain_state(ordered=True)
+    image, report = recover(state)
+    assert image.read_word(PM) == 200
+    assert report.restored_lines == 1
+    assert report.skipped_restores == []
+
+
+def test_defensive_restores_when_chained_predecessor_committed():
+    """Chained bit set but every dependency already committed: the logged
+    old value is committed data, so the restore is sound even on a
+    legacy image."""
+    pm = MemoryImage()
+    pm.write_word(PM, 300)
+    # rid 12 (13's predecessor) committed before the crash: it is not in
+    # the dependence list and its log record was freed
+    write_record(pm, LOG, 13, [(PM, [200, 0, 0, 0, 0, 0, 0, 0], True)])
+    state = make_state(
+        pm, {0: [(LOG, 1, 512)]}, deps=[entry(13, deps=[12])], ordered=False
+    )
+    image, report = recover(state)
+    assert image.read_word(PM) == 200
+    assert report.skipped_restores == []
+
+
+def test_defensive_skip_covers_whole_line():
+    """A broken chain skips *every* restore of that line, not just the
+    earliest writer's - partial unwinding would mix chain generations."""
+    pm = MemoryImage()
+    pm.write_word(PM, 300)
+    write_record(pm, LOG, 12, [])  # entry for PM lost
+    write_record(pm, LOG + 512, 13, [(PM, [200, 0, 0, 0, 0, 0, 0, 0], True)])
+    write_record(pm, LOG + 1024, 14, [(PM, [250, 0, 0, 0, 0, 0, 0, 0], True)])
+    state = make_state(
+        pm,
+        {0: [(LOG, 3, 512)]},
+        deps=[entry(12), entry(13, deps=[12]), entry(14, deps=[13])],
+        ordered=False,
+    )
+    image, report = recover(state)
+    assert image.read_word(PM) == 300
+    assert report.restored_lines == 0
+    assert {d["rid"] for d in report.skipped_restores} == {13, 14}
+    assert report.skipped_lines == 1
 
 
 # -- recover_redo ---------------------------------------------------------------------
