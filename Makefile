@@ -17,16 +17,17 @@ test-fast:
 # are optional-dependency extras; skip gracefully where not installed).
 lint:
 	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
-		$(PYTHON) -m ruff check src/repro/analysis tests/analysis; \
+		$(PYTHON) -m ruff check src/repro/analysis tests/analysis tools benchmarks; \
 	else \
 		echo "ruff not installed (pip install -e .[lint]); skipping style check"; \
 	fi
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
-		$(PYTHON) -m mypy src/repro/analysis; \
+		$(PYTHON) -m mypy; \
 	else \
 		echo "mypy not installed (pip install -e .[lint]); skipping type check"; \
 	fi
 	PYTHONPATH=src $(PYTHON) -m repro.analysis lint --json lint-report.json
+	PYTHONPATH=src $(PYTHON) -m repro.analysis races --json races-report.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

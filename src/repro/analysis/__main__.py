@@ -4,11 +4,14 @@ Subcommands::
 
     lint [WORKLOAD ...]      statically lint workload op streams
     sanitize [-w WL ...]     run workloads under the runtime sanitizer
+    races [-w WL ...]        happens-before race detection over persist
+                             graphs (or --corpus DIR for fuzz cases)
     rules                    print the rule catalog
 
-``lint`` and ``sanitize`` exit 0 when no error-severity violation was
-found (``--strict`` also fails on warnings) and can emit the JSON report
-with ``--json FILE``.
+Every subcommand exits 0 when no error-severity violation was found
+(``--strict`` also fails on warnings) and can emit the schema-versioned
+JSON report with ``--json FILE``. The same front end is reachable as
+``asap-repro analyze ...``.
 """
 
 from __future__ import annotations
@@ -89,6 +92,61 @@ def _cmd_sanitize(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_races(args) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.analysis.races import detect_in_case, detect_in_workload
+    from repro.analysis.report import races_report
+    from repro.harness.runner import default_config, default_params
+
+    results = []
+    if args.corpus or args.case:
+        from repro.harness.fuzz import load_corpus_entry
+
+        paths = list(args.case or [])
+        if args.corpus:
+            import glob
+            import os
+
+            paths.extend(
+                sorted(glob.glob(os.path.join(args.corpus, "*.json")))
+            )
+        for path in paths:
+            case, _meta = load_corpus_entry(path)
+            if args.legacy_backpressure:
+                case = dc_replace(case, fifo_backpressure=False)
+            if args.legacy_line_order:
+                case = dc_replace(case, ordered_line_log_persists=False)
+            results.append(detect_in_case(case, source=path))
+    else:
+        names = args.workloads or workload_names()
+        config = default_config(
+            quick=not args.full,
+            ordered_line_log_persists=not args.legacy_line_order,
+        )
+        if args.legacy_backpressure:
+            config = dc_replace(
+                config,
+                memory=dc_replace(config.memory, wpq_fifo_backpressure=False),
+            )
+        params = default_params(quick=not args.full)
+        for name in names:
+            results.append(
+                detect_in_workload(
+                    name, args.scheme, config=config, params=params
+                )
+            )
+    report = races_report(results)
+    print(render_text(report))
+    if args.json:
+        write_json(args.json, report)
+        print(f"wrote {args.json}")
+    failed = not report["summary"]["ok"] or (
+        args.strict and report["summary"]["warnings"] > 0
+    )
+    return 1 if failed else 0
+
+
 def _cmd_rules(args) -> int:
     for rule in all_rules():
         print(f"{rule.id}  {rule.name} [{rule.severity}]")
@@ -127,6 +185,45 @@ def main(argv: Optional[List[str]] = None) -> int:
     sanitize.add_argument("--json", metavar="FILE")
     sanitize.add_argument("--strict", action="store_true")
     sanitize.set_defaults(fn=_cmd_sanitize)
+
+    races = sub.add_parser(
+        "races",
+        help="happens-before race detection over persist graphs",
+    )
+    races.add_argument(
+        "-w", "--workloads", nargs="*", default=None, help="Table 3 names"
+    )
+    races.add_argument("--scheme", default="asap", choices=scheme_names())
+    races.add_argument("--full", action="store_true", help="full-size machine")
+    races.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default=None,
+        help="race-detect the fuzz corpus JSON cases in DIR instead of "
+        "workloads",
+    )
+    races.add_argument(
+        "--case",
+        metavar="FILE",
+        action="append",
+        default=None,
+        help="race-detect one corpus JSON case (repeatable)",
+    )
+    races.add_argument(
+        "--legacy-backpressure",
+        action="store_true",
+        help="analyse under the pre-fix WPQ backpressure model (the "
+        "wpq-fifo ordering edge drops out; expects findings)",
+    )
+    races.add_argument(
+        "--legacy-line-order",
+        action="store_true",
+        help="analyse under the pre-fix same-line log-persist model (the "
+        "line-chain ordering edge drops out; expects findings)",
+    )
+    races.add_argument("--json", metavar="FILE")
+    races.add_argument("--strict", action="store_true")
+    races.set_defaults(fn=_cmd_races)
 
     rules = sub.add_parser("rules", help="print the rule catalog")
     rules.set_defaults(fn=_cmd_rules)

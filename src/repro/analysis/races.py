@@ -1,0 +1,738 @@
+"""Persist-ordering race detection: happens-before over persist graphs.
+
+Both real bugs this repo has shipped fixes for - the cross-thread
+commit-ordering violation (fixed by FIFO WPQ backpressure) and the
+same-line undo-chain loss (fixed by ``ordered_line_log_persists``) - are
+instances of one bug class: *conflicting persists with no
+durability-ordering edge between them*. Each was found by sweeping
+thousands of crash points through the differential fuzzer. This module
+finds candidates of that class in a **single instrumented run**, then
+hands the fuzzer a witness to verify (``asap-repro fuzz --from-races``).
+
+How it works:
+
+1. A :class:`RaceTracer` (a :class:`~repro.common.observe.SimObserver`)
+   records every persist operation the WPQs accept - submission and
+   acceptance cycles, channel, kind, owning region - plus the protocol
+   events that define conflicts and orderings: same-line undo chains
+   (``lpo_chained``), Dependence-List captures, redo commit markers, and
+   lock hand-offs.
+2. :func:`build_graph` turns the trace into a happens-before DAG whose
+   nodes are accepted persist ops and whose edges are only the orderings
+   the scheme *guarantees* - as declared by
+   :meth:`~repro.persist.base.PersistenceScheme.ordering_edges` (the
+   per-channel WPQ FIFO admission chain, the per-line log-persist chain,
+   LockBit log-before-data gating, Dependence-List commit/marker gating).
+   On top of the guaranteed edges, the pass uses *trace-order pruning*:
+   op A is treated as before op B when A was accepted strictly before B
+   was even submitted - in this execution A was already durable when B
+   came into existence, so the pair cannot invert here.
+3. A reachability pass (prefix bitsets over the acceptance-ordered DAG)
+   then reports every conflicting pair left unordered, as the
+   ``ASAP-R001..R004`` rules (:mod:`repro.analysis.rules`). Each
+   :class:`RaceFinding` carries the two op sites, a crash *window*
+   (the cycle span in which exactly one of the pair is durable), and -
+   for fuzz cases - the replayable schedule, i.e. everything a directed
+   fuzzer run needs to confirm the race.
+
+A finding is ``CONFIRMED`` when the trace itself shows an
+acceptance-order inversion (the ops became durable in the opposite of
+submission/chain order), or when directed crash replay inside the window
+produces a recovery divergence or a defensively-skipped undo chain.
+Otherwise it is ``PLAUSIBLE`` and the witness tells the fuzzer where to
+look. Under the default (fixed) configuration every ASAP ordering edge
+is in force and the detector reports zero findings across the workload
+suite - asserted by ``tests/analysis/test_races.py``.
+
+See docs/RACES.md for edge semantics per scheme and a worked example.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.rules import Violation, get_rule
+from repro.common.observe import SimObserver
+from repro.mem.wpq import DPO, LPO, WB
+
+#: findings reported per (rule, line) before suppression kicks in; dense
+#: conflicts (every pair of N persists to one hot line) say nothing new
+#: after the first few pairs, and the suppressed count is reported
+MAX_PAIRS_PER_SITE = 4
+
+CONFIRMED = "CONFIRMED"
+PLAUSIBLE = "PLAUSIBLE"
+
+#: persist-op kinds that put *data* bytes at their home address
+_DATA_KINDS = (DPO, WB)
+
+
+# ---------------------------------------------------------------------------
+# trace recording
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PersistNode:
+    """One accepted persist operation (a node of the race graph)."""
+
+    index: int  # position in global acceptance order
+    op_id: int
+    kind: str
+    target_line: int
+    data_line: int
+    rid: Optional[int]
+    channel: int
+    submitted_at: int
+    accepted_at: int
+    payload: Dict[int, int]
+    backpressured: bool = False
+    dropped: bool = False
+    #: set for redo commit markers: (rid, commit_seq)
+    marker: Optional[Tuple[int, int]] = None
+
+    @property
+    def thread(self) -> Optional[int]:
+        return None if self.rid is None else self.rid >> 32
+
+    def site(self) -> dict:
+        """The finding-facing description of this op."""
+        out = {
+            "op": self.op_id,
+            "kind": self.kind,
+            "line": self.target_line,
+            "data_line": self.data_line,
+            "channel": self.channel,
+            "submitted_at": self.submitted_at,
+            "accepted_at": self.accepted_at,
+        }
+        if self.rid is not None:
+            out["rid"] = self.rid
+            out["thread"] = self.thread
+        if self.marker is not None:
+            out["commit_seq"] = self.marker[1]
+        return out
+
+
+class RaceTracer(SimObserver):
+    """Records the persist-op trace one instrumented run produces.
+
+    Attach with :meth:`attach` (the :class:`~repro.analysis.Sanitizer`
+    idiom): the tracer takes every observer hook point - WPQs, cache
+    hierarchy, the ASAP engine or scheme, and the machine's locks. Race
+    tracing is a dedicated run; observer slots are single-valued.
+    """
+
+    def __init__(self):
+        self.machine = None
+        self.nodes: List[PersistNode] = []
+        self._node_of_op: Dict[int, PersistNode] = {}
+        self._channel_of_wpq: Dict[int, int] = {}
+        #: (prev_rid, dep_rid, line) same-line undo-chain conflicts
+        self.chains: List[Tuple[int, int, int]] = []
+        #: rid -> rids it depends on (Dependence-List captures)
+        self.deps: Dict[int, Set[int]] = {}
+        #: op_id -> (rid, commit_seq) for redo commit markers in flight
+        self._marker_ops: Dict[int, Tuple[int, int]] = {}
+        #: rid -> commit cycle
+        self.commits: Dict[int, int] = {}
+        #: lock name -> [(thread, acquire cycle)] hand-off history
+        self.lock_order: Dict[str, List[Tuple[int, int]]] = {}
+        self.events = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, machine) -> "RaceTracer":
+        from repro.core.engine import AsapEngine
+
+        self.machine = machine
+        for channel in machine.memory.channels:
+            channel.wpq.observer = self
+            self._channel_of_wpq[id(channel.wpq)] = channel.index
+        machine.hierarchy.observer = self
+        machine.scheme.observer = self
+        engine = getattr(machine.scheme, "engine", None)
+        if isinstance(engine, AsapEngine):
+            engine.observer = self
+        for lock in machine.locks:
+            lock.observer = self
+        return self
+
+    def _now(self) -> int:
+        return self.machine.scheduler.now if self.machine is not None else 0
+
+    # -- WPQ events --------------------------------------------------------
+
+    def wpq_submitted(self, wpq, op) -> None:
+        self.events += 1
+
+    def wpq_accepted(self, wpq, op) -> None:
+        self.events += 1
+        node = PersistNode(
+            index=len(self.nodes),
+            op_id=op.op_id,
+            kind=op.kind,
+            target_line=op.target_line,
+            data_line=op.data_line,
+            rid=op.rid,
+            channel=self._channel_of_wpq.get(id(wpq), 0),
+            submitted_at=op.submitted_at
+            if op.submitted_at is not None
+            else self._now(),
+            accepted_at=self._now(),
+            payload=dict(op.materialized_payload()),
+            backpressured=op.backpressured,
+            marker=self._marker_ops.get(op.op_id),
+        )
+        self.nodes.append(node)
+        self._node_of_op[op.op_id] = node
+
+    def wpq_dropped(self, wpq, op) -> None:
+        self.events += 1
+        node = self._node_of_op.get(op.op_id)
+        if node is not None:
+            node.dropped = True
+
+    # -- protocol events ---------------------------------------------------
+
+    def lpo_chained(self, engine, rid, line, prev_owner) -> None:
+        self.events += 1
+        self.chains.append((prev_owner, rid, line))
+
+    def dep_captured(self, engine, rid, owner) -> None:
+        self.events += 1
+        self.deps.setdefault(rid, set()).add(owner)
+
+    def region_committed(self, engine, rid) -> None:
+        self.events += 1
+        self.commits[rid] = self._now()
+
+    def marker_issued(self, scheme, rid, seq, op) -> None:
+        self.events += 1
+        self._marker_ops[op.op_id] = (rid, seq)
+
+    # -- lock events -------------------------------------------------------
+
+    def lock_acquired(self, lock, thread_id) -> None:
+        self.events += 1
+        self.lock_order.setdefault(lock.name, []).append(
+            (thread_id, self._now())
+        )
+
+    # -- trace-level helpers ----------------------------------------------
+
+    def first_lpo(self, rid: int, line: int) -> Optional[PersistNode]:
+        """The first accepted LPO logging ``line`` for region ``rid``."""
+        for node in self.nodes:
+            if node.kind == LPO and node.rid == rid and node.data_line == line:
+                return node
+        return None
+
+
+# ---------------------------------------------------------------------------
+# the happens-before graph
+# ---------------------------------------------------------------------------
+
+
+class RaceGraph:
+    """Happens-before over a :class:`RaceTracer` trace.
+
+    Nodes are in global acceptance order (the order the tracer recorded
+    them). ``edge_preds[i]`` holds the guaranteed-edge predecessors of
+    node ``i`` - every guaranteed edge points from an earlier-accepted
+    node to a later one, because each edge kind *gates acceptance or
+    submission* on a prior acceptance. Reachability therefore folds left
+    to right with prefix bitsets, merging trace-order pruning (node
+    ``j`` precedes ``i`` when ``accepted(j) < submitted(i)``) into the
+    same ancestor masks so mixed guaranteed/temporal paths compose.
+    """
+
+    def __init__(self, tracer: RaceTracer, edges_in_force: FrozenSet[str]):
+        self.tracer = tracer
+        self.edges_in_force = edges_in_force
+        self.nodes = tracer.nodes
+        self.edge_preds: List[Set[int]] = [set() for _ in self.nodes]
+        self.edge_count = 0
+        self._build_edges()
+        self._ancestors = self._close()
+
+    # -- construction ------------------------------------------------------
+
+    def _add_edge(self, pred: PersistNode, succ: PersistNode) -> None:
+        if pred.index == succ.index:
+            return
+        lo, hi = sorted((pred.index, succ.index))
+        # guaranteed edges always point acceptance-forward (the guarantee
+        # is exactly that the predecessor's acceptance gates the
+        # successor); a backward pair means the guarantee was violated in
+        # this trace, which the conflict pass reports as an inversion
+        if pred.index == lo:
+            self.edge_preds[hi].add(lo)
+            self.edge_count += 1
+
+    def _build_edges(self) -> None:
+        nodes = self.nodes
+        if "wpq-fifo" in self.edges_in_force:
+            last_on_channel: Dict[int, PersistNode] = {}
+            for node in nodes:
+                prev = last_on_channel.get(node.channel)
+                if prev is not None:
+                    self._add_edge(prev, node)
+                last_on_channel[node.channel] = node
+        if "line-chain" in self.edges_in_force:
+            for prev_rid, dep_rid, line in self.tracer.chains:
+                a = self.tracer.first_lpo(prev_rid, line)
+                b = self.tracer.first_lpo(dep_rid, line)
+                if a is not None and b is not None:
+                    self._add_edge(a, b)
+        if "lockbit-gate" in self.edges_in_force:
+            lpo_of: Dict[Tuple[int, int], PersistNode] = {}
+            for node in nodes:
+                if node.kind == LPO and node.rid is not None:
+                    lpo_of.setdefault((node.rid, node.data_line), node)
+            for node in nodes:
+                if node.kind in _DATA_KINDS and node.rid is not None:
+                    gate = lpo_of.get((node.rid, node.target_line))
+                    if gate is not None:
+                        self._add_edge(gate, node)
+        if "marker-gate" in self.edges_in_force:
+            marker_of: Dict[int, PersistNode] = {}
+            for node in nodes:
+                if node.marker is not None:
+                    marker_of[node.marker[0]] = node
+            for rid, marker in marker_of.items():
+                for owner in self.tracer.deps.get(rid, ()):
+                    pred = marker_of.get(owner)
+                    if pred is not None:
+                        self._add_edge(pred, marker)
+            # post-commit in-place updates are issued only after the
+            # region's own marker is durable
+            for node in nodes:
+                if node.kind in _DATA_KINDS and node.rid is not None:
+                    gate = marker_of.get(node.rid)
+                    if gate is not None:
+                        self._add_edge(gate, node)
+        if "sync-commit" in self.edges_in_force:
+            last_of_thread: Dict[int, PersistNode] = {}
+            for node in nodes:
+                thread = node.thread
+                if thread is None:
+                    continue
+                prev = last_of_thread.get(thread)
+                if prev is not None:
+                    self._add_edge(prev, node)
+                last_of_thread[thread] = node
+
+    def _close(self) -> List[int]:
+        """Ancestor bitmask per node (bit ``j`` set: ``j`` before ``i``)."""
+        accepted = [n.accepted_at for n in self.nodes]
+        ancestors: List[int] = []
+        for i, node in enumerate(self.nodes):
+            # trace-order pruning: everything accepted strictly before
+            # this op was submitted is a prefix of acceptance order
+            k = bisect_left(accepted, node.submitted_at, 0, i)
+            mask = (1 << k) - 1
+            for p in self.edge_preds[i]:
+                mask |= ancestors[p] | (1 << p)
+            ancestors.append(mask)
+        return ancestors
+
+    # -- queries -----------------------------------------------------------
+
+    def ordered(self, a: PersistNode, b: PersistNode) -> bool:
+        """True when the pair has *some* durability ordering."""
+        lo, hi = sorted((a.index, b.index))
+        return bool((self._ancestors[hi] >> lo) & 1)
+
+
+# ---------------------------------------------------------------------------
+# findings
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RaceFinding:
+    """One unordered conflicting-persist pair, with its witness."""
+
+    rule_id: str
+    message: str
+    site_a: dict
+    site_b: dict
+    status: str  # CONFIRMED | PLAUSIBLE
+    evidence: str
+    #: crash cycles [lo, hi] in which exactly one of the pair is durable
+    window: Tuple[int, int]
+    #: the window as fractions of the traced run's total cycles - the
+    #: form the fuzzer's corpus pins crash points in
+    crash_fracs: List[float] = field(default_factory=list)
+    source: Optional[str] = None
+    #: replayable FuzzCase JSON when the trace came from a fuzz case
+    schedule: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        rule = get_rule(self.rule_id)
+        return {
+            "rule_id": self.rule_id,
+            "rule_name": rule.name,
+            "severity": rule.severity,
+            "status": self.status,
+            "message": self.message,
+            "evidence": self.evidence,
+            "site_a": self.site_a,
+            "site_b": self.site_b,
+            "window": list(self.window),
+            "crash_fracs": self.crash_fracs,
+            **({"source": self.source} if self.source else {}),
+            **({"schedule": self.schedule} if self.schedule else {}),
+        }
+
+    def to_violation(self) -> Violation:
+        return Violation(
+            rule_id=self.rule_id,
+            message=f"[{self.status}] {self.message}",
+            cycle=self.window[0],
+            source=self.source,
+            details={
+                "site_a": self.site_a,
+                "site_b": self.site_b,
+                "window": list(self.window),
+            },
+        )
+
+
+@dataclass
+class RacesResult:
+    """Everything one detector pass produced."""
+
+    scheme: str
+    source: str
+    edges_in_force: FrozenSet[str]
+    cycles: int
+    nodes: int
+    edges: int
+    events: int
+    findings: List[RaceFinding] = field(default_factory=list)
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_target_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "scheme": self.scheme,
+            "edges_in_force": sorted(self.edges_in_force),
+            "cycles": self.cycles,
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "events_checked": self.events,
+            "suppressed_pairs": self.suppressed,
+            "violations": [f.to_dict() for f in self.findings],
+        }
+
+
+def _pair_finding(
+    rule_id: str,
+    a: PersistNode,
+    b: PersistNode,
+    message: str,
+    total_cycles: int,
+    inverted: bool,
+    source: Optional[str],
+    schedule: Optional[dict],
+) -> RaceFinding:
+    lo = min(a.accepted_at, b.accepted_at)
+    hi = max(a.accepted_at, b.accepted_at)
+    # fractions of the run's *thread-finish* cycle count - the same
+    # denominator the fuzzer's crash sweeps use, so a witness frac pastes
+    # straight into a corpus entry's crash_fracs. Persistence work (and
+    # hence a window) can outlive the last thread, so fracs may exceed 1.
+    fracs = sorted(
+        {
+            round(max(0.0, cyc / total_cycles), 6) if total_cycles else 0.0
+            for cyc in (lo, (lo + hi) // 2, hi)
+        }
+    )
+    if inverted:
+        status, evidence = CONFIRMED, (
+            "acceptance-order inversion observed in the trace: the later "
+            f"op became durable first (accepted at {lo} vs {hi})"
+        )
+    else:
+        status, evidence = PLAUSIBLE, (
+            "no ordering edge between the pair; directed crash replay in "
+            f"cycles [{lo}, {hi}] can expose the race"
+        )
+    return RaceFinding(
+        rule_id=rule_id,
+        message=message,
+        site_a=a.site(),
+        site_b=b.site(),
+        status=status,
+        evidence=evidence,
+        window=(lo, hi),
+        crash_fracs=fracs,
+        source=source,
+        schedule=schedule,
+    )
+
+
+def analyze_trace(
+    tracer: RaceTracer,
+    edges_in_force: FrozenSet[str],
+    total_cycles: int,
+    scheme: str,
+    source: str,
+    schedule: Optional[dict] = None,
+) -> RacesResult:
+    """Run the happens-before pass over one recorded trace."""
+    graph = RaceGraph(tracer, edges_in_force)
+    result = RacesResult(
+        scheme=scheme,
+        source=source,
+        edges_in_force=edges_in_force,
+        cycles=total_cycles,
+        nodes=len(tracer.nodes),
+        edges=graph.edge_count,
+        events=tracer.events,
+    )
+    per_site: Dict[Tuple[str, int], int] = {}
+
+    def report(rule_id, a, b, message, inverted) -> None:
+        key = (rule_id, a.target_line)
+        per_site[key] = per_site.get(key, 0) + 1
+        if per_site[key] > MAX_PAIRS_PER_SITE:
+            result.suppressed += 1
+            return
+        result.findings.append(
+            _pair_finding(
+                rule_id, a, b, message, total_cycles, inverted, source, schedule
+            )
+        )
+
+    # R001: same-line data persists from different regions
+    by_line: Dict[int, List[PersistNode]] = {}
+    for node in tracer.nodes:
+        if node.kind in _DATA_KINDS and node.rid is not None:
+            by_line.setdefault(node.target_line, []).append(node)
+    for line, ops in sorted(by_line.items()):
+        for i, a in enumerate(ops):
+            for b in ops[i + 1:]:
+                if a.rid == b.rid or a.payload == b.payload:
+                    continue
+                if graph.ordered(a, b):
+                    continue
+                inverted = (a.submitted_at < b.submitted_at) != (
+                    a.accepted_at < b.accepted_at
+                )
+                report(
+                    "ASAP-R001",
+                    a,
+                    b,
+                    f"data persists for line {line:#x} by regions "
+                    f"{a.rid:#x} and {b.rid:#x} have no durability "
+                    "ordering; which payload survives a crash depends on "
+                    "WPQ timing",
+                    inverted,
+                )
+
+    # R002: chained same-line log persists out of chain order
+    seen_chains: Set[Tuple[int, int, int]] = set()
+    for prev_rid, dep_rid, line in tracer.chains:
+        key = (prev_rid, dep_rid, line)
+        if key in seen_chains:
+            continue
+        seen_chains.add(key)
+        a = tracer.first_lpo(prev_rid, line)
+        b = tracer.first_lpo(dep_rid, line)
+        if a is None or b is None or graph.ordered(a, b):
+            continue
+        report(
+            "ASAP-R002",
+            a,
+            b,
+            f"log entries for line {line:#x} form an undo chain "
+            f"(region {dep_rid:#x} logs region {prev_rid:#x}'s "
+            "uncommitted data) but nothing orders their durability; a "
+            "crash with only the dependent's entry durable breaks the "
+            "chain",
+            inverted=b.accepted_at < a.accepted_at,
+        )
+
+    # R003: a region's data persist unordered w.r.t. its own log entry
+    lpo_of: Dict[Tuple[int, int], PersistNode] = {}
+    for node in tracer.nodes:
+        if node.kind == LPO and node.rid is not None:
+            lpo_of.setdefault((node.rid, node.data_line), node)
+    for node in tracer.nodes:
+        if node.kind not in _DATA_KINDS or node.rid is None:
+            continue
+        gate = lpo_of.get((node.rid, node.target_line))
+        if gate is None or graph.ordered(gate, node):
+            continue
+        report(
+            "ASAP-R003",
+            gate,
+            node,
+            f"{node.kind.upper()} for line {node.target_line:#x} of region "
+            f"{node.rid:#x} is not ordered after the line's log entry; "
+            "the in-place bytes can become durable before the undo entry "
+            "that protects them",
+            inverted=node.accepted_at < gate.accepted_at,
+        )
+
+    # R004: commit markers unordered w.r.t. dependence predecessors
+    marker_of: Dict[int, PersistNode] = {}
+    for node in tracer.nodes:
+        if node.marker is not None:
+            marker_of[node.marker[0]] = node
+    for rid, marker in sorted(marker_of.items()):
+        for owner in sorted(tracer.deps.get(rid, ())):
+            pred = marker_of.get(owner)
+            if pred is None or graph.ordered(pred, marker):
+                continue
+            report(
+                "ASAP-R004",
+                pred,
+                marker,
+                f"commit marker of region {rid:#x} is not ordered after "
+                f"its Dependence-List predecessor {owner:#x}'s; recovery "
+                "could replay an effect without its cause",
+                inverted=marker.accepted_at < pred.accepted_at,
+            )
+
+    return result
+
+
+# ---------------------------------------------------------------------------
+# entry points: fuzz cases and workloads
+# ---------------------------------------------------------------------------
+
+
+def trace_case(case) -> Tuple[RaceTracer, int]:
+    """One instrumented run of a fuzz case; returns (tracer, cycles)."""
+    from repro.harness.fuzz import build_machine
+
+    machine = build_machine(case)
+    tracer = RaceTracer().attach(machine)
+    result = machine.run()
+    return tracer, result.cycles
+
+
+def detect_in_case(case, source: Optional[str] = None) -> RacesResult:
+    """Race-detect one fuzz case (e.g. a regression-corpus entry)."""
+    from repro.harness.fuzz import build_machine
+
+    machine = build_machine(case)
+    tracer = RaceTracer().attach(machine)
+    cycles = machine.run().cycles
+    edges = machine.scheme.ordering_edges(machine.config)
+    return analyze_trace(
+        tracer,
+        edges,
+        cycles,
+        scheme=case.scheme,
+        source=source or f"case({case.scheme}, wpq={case.wpq_entries})",
+        schedule=case.to_json(),
+    )
+
+
+def detect_in_workload(
+    workload: str,
+    scheme: str = "asap",
+    config=None,
+    params=None,
+) -> RacesResult:
+    """Race-detect one Table 3 workload under one scheme."""
+    from repro.harness.runner import build_machine, default_config, default_params
+
+    machine = build_machine(
+        workload, scheme, config or default_config(), params or default_params()
+    )
+    tracer = RaceTracer().attach(machine)
+    cycles = machine.run().cycles
+    edges = machine.scheme.ordering_edges(machine.config)
+    return analyze_trace(
+        tracer, edges, cycles, scheme=scheme, source=workload
+    )
+
+
+# ---------------------------------------------------------------------------
+# directed verification (the fuzzer's --from-races mode)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VerifyOutcome:
+    """Directed verification of one finding's witness."""
+
+    finding: RaceFinding
+    status: str
+    runs_used: int
+    evidence: str
+
+
+def verify_finding(case, finding: RaceFinding, max_points: int = 5) -> VerifyOutcome:
+    """Replay the witness: crash inside the window, check for divergence.
+
+    Three confirmation signals, strongest first:
+
+    * the finding was already ``CONFIRMED`` by an observed inversion -
+      zero extra runs;
+    * a directed crash point fails the differential recovery check
+      (committed data lost or recovery nondeterministic);
+    * recovery *defensively skipped* restores of the finding's line (the
+      hardened undo-chain path): the broken chain durably materialised,
+      so the race is real even though recovery survived it.
+    """
+    from repro.harness.fuzz import build_machine
+    from repro.recovery import crash_machine, recover, verify_recovery
+
+    if finding.status == CONFIRMED:
+        return VerifyOutcome(finding, CONFIRMED, 0, finding.evidence)
+    lo, hi = finding.window
+    points = sorted(
+        {max(1, c) for c in (lo, (lo + hi) // 2, hi, hi + 1, lo + 1)}
+    )[:max_points]
+    runs = 0
+    lines_of_interest = {
+        finding.site_a.get("data_line"),
+        finding.site_b.get("data_line"),
+    }
+    for cycle in points:
+        machine = build_machine(case)
+        state = crash_machine(machine, at_cycle=cycle)
+        image, report = recover(state)
+        runs += 1
+        verdict = verify_recovery(machine, image)
+        if not verdict.ok:
+            return VerifyOutcome(
+                finding,
+                CONFIRMED,
+                runs,
+                f"crash at cycle {cycle}: {verdict.explain()}",
+            )
+        skipped = [
+            d
+            for d in getattr(report, "skipped_restores", [])
+            if d.get("line") in lines_of_interest
+        ]
+        if skipped:
+            return VerifyOutcome(
+                finding,
+                CONFIRMED,
+                runs,
+                f"crash at cycle {cycle}: recovery defensively skipped "
+                f"{len(skipped)} restore(s) of the racing line - the "
+                "broken undo chain durably materialised",
+            )
+    return VerifyOutcome(
+        finding,
+        PLAUSIBLE,
+        runs,
+        f"no divergence at {len(points)} directed crash point(s); the "
+        "race did not manifest in this schedule's timing",
+    )

@@ -1,25 +1,52 @@
 """Machine-readable JSON reports for the analysis passes.
 
-One report schema covers both tools::
+One report schema covers all three tools::
 
     {
+      "schema_version": 1,
       "tool": "repro.analysis",
-      "pass": "lint" | "sanitize",
+      "pass": "lint" | "sanitize" | "races",
       "rules": [ {id, name, severity, summary, paper_ref}, ... ],
       "targets": [ per-target result dicts ],
       "summary": {"targets": N, "errors": N, "warnings": N, "ok": bool}
     }
 
-The ``make lint`` target and the CI workflow consume ``summary.ok``;
-humans read the per-target violation lists.
+``schema_version`` is bumped on any incompatible shape change (the
+recovery trace's ``TRACE_SCHEMA`` set the precedent;
+:func:`validate_report` is the matching hand-rolled validator - no
+external JSON-schema dependency). The ``make lint`` target and the CI
+workflow consume ``summary.ok``; humans read the per-target violation
+lists.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Tuple
 
-from repro.analysis.rules import LINT_RULES, SANITIZER_RULES, Violation
+from repro.analysis.rules import LINT_RULES, RACE_RULES, SANITIZER_RULES, Violation
+
+#: bump on incompatible changes to the report shape below
+ANALYSIS_SCHEMA_VERSION = 1
+
+#: the report's shape: field -> (type, required)
+REPORT_SCHEMA: Dict[str, Tuple[type, bool]] = {
+    "schema_version": (int, True),
+    "tool": (str, True),
+    "pass": (str, True),
+    "rules": (list, True),
+    "targets": (list, True),
+    "summary": (dict, True),
+}
+
+_SUMMARY_SCHEMA: Dict[str, Tuple[type, bool]] = {
+    "targets": (int, True),
+    "errors": (int, True),
+    "warnings": (int, True),
+    "ok": (bool, True),
+}
+
+_PASSES = ("lint", "sanitize", "races")
 
 
 def _summarise(violations: List[dict]) -> Dict[str, int]:
@@ -34,6 +61,7 @@ def lint_report(results: Mapping[str, object]) -> dict:
     all_violations = [v for t in targets for v in t["violations"]]
     counts = _summarise(all_violations)
     return {
+        "schema_version": ANALYSIS_SCHEMA_VERSION,
         "tool": "repro.analysis",
         "pass": "lint",
         "rules": [rule.to_dict() for _, rule in sorted(LINT_RULES.items())],
@@ -63,6 +91,7 @@ def sanitize_report(runs: List[dict]) -> dict:
     all_violations = [v for t in targets for v in t["violations"]]
     counts = _summarise(all_violations)
     return {
+        "schema_version": ANALYSIS_SCHEMA_VERSION,
         "tool": "repro.analysis",
         "pass": "sanitize",
         "rules": [rule.to_dict() for _, rule in sorted(SANITIZER_RULES.items())],
@@ -74,6 +103,85 @@ def sanitize_report(runs: List[dict]) -> dict:
             "ok": counts["errors"] == 0,
         },
     }
+
+
+def races_report(results: List[object]) -> dict:
+    """Build the report dict for race-detector passes.
+
+    Each entry of ``results`` is a
+    :class:`~repro.analysis.races.RacesResult` (or its
+    ``to_target_dict()`` output). A finding's report severity follows its
+    rule; ``summary.confirmed`` separately counts findings whose witness
+    was confirmed (observed inversion or directed-replay divergence).
+    """
+    targets = [
+        r if isinstance(r, dict) else r.to_target_dict() for r in results
+    ]
+    all_violations = [v for t in targets for v in t["violations"]]
+    counts = _summarise(all_violations)
+    return {
+        "schema_version": ANALYSIS_SCHEMA_VERSION,
+        "tool": "repro.analysis",
+        "pass": "races",
+        "rules": [rule.to_dict() for _, rule in sorted(RACE_RULES.items())],
+        "targets": targets,
+        "summary": {
+            "targets": len(targets),
+            "nodes": sum(t.get("nodes", 0) for t in targets),
+            "events_checked": sum(t.get("events_checked", 0) for t in targets),
+            "confirmed": sum(
+                1 for v in all_violations if v.get("status") == "CONFIRMED"
+            ),
+            **counts,
+            "ok": counts["errors"] == 0,
+        },
+    }
+
+
+def validate_report(report: dict) -> List[str]:
+    """Check a report against :data:`REPORT_SCHEMA`; returns problem
+    strings (empty means valid)."""
+    problems: List[str] = []
+    if not isinstance(report, dict):
+        return [f"report is {type(report).__name__}, expected dict"]
+    for key, (typ, required) in REPORT_SCHEMA.items():
+        if key not in report:
+            if required:
+                problems.append(f"missing field {key!r}")
+            continue
+        if not isinstance(report[key], typ):
+            problems.append(
+                f"field {key!r} is {type(report[key]).__name__}, "
+                f"expected {typ.__name__}"
+            )
+    version = report.get("schema_version")
+    if isinstance(version, int) and version > ANALYSIS_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {version} is newer than supported "
+            f"{ANALYSIS_SCHEMA_VERSION}"
+        )
+    if "pass" in report and report["pass"] not in _PASSES:
+        problems.append(
+            f"pass {report['pass']!r} not one of {', '.join(_PASSES)}"
+        )
+    for i, target in enumerate(report.get("targets") or []):
+        if not isinstance(target, dict):
+            problems.append(f"targets[{i}] is not an object")
+            continue
+        if not isinstance(target.get("violations"), list):
+            problems.append(f"targets[{i}] missing violations list")
+    summary = report.get("summary")
+    if isinstance(summary, dict):
+        for key, (typ, required) in _SUMMARY_SCHEMA.items():
+            if key not in summary:
+                if required:
+                    problems.append(f"summary missing {key!r}")
+            elif not isinstance(summary[key], typ):
+                problems.append(
+                    f"summary.{key} is {type(summary[key]).__name__}, "
+                    f"expected {typ.__name__}"
+                )
+    return problems
 
 
 def write_json(path: str, report: dict) -> None:

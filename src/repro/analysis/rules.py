@@ -6,7 +6,10 @@ Two rule families share one namespace:
   judged over an op stream without executing timing,
 * ``ASAP-Sxxx`` - runtime sanitizer rules (:mod:`repro.analysis.sanitizer`),
   checked on live machine events via the :class:`~repro.common.SimObserver`
-  hook points.
+  hook points,
+* ``ASAP-Rxxx`` - persist-ordering race rules (:mod:`repro.analysis.races`),
+  judged by a happens-before pass over the persist graph of one
+  instrumented run; each finding carries a fuzzer-replayable witness.
 
 Each rule names the paper section whose contract it enforces; the catalog
 is rendered by ``python -m repro.analysis rules`` and documented in
@@ -154,7 +157,52 @@ SANITIZER_RULES = {
     )
 }
 
-ALL_RULES: Dict[str, Rule] = {**LINT_RULES, **SANITIZER_RULES}
+RACE_RULES = {
+    rule.id: rule
+    for rule in (
+        Rule(
+            "ASAP-R001",
+            "unordered-data-persists",
+            ERROR,
+            "Two persists of the same line with different payloads, from "
+            "different regions, have no durability-ordering edge between "
+            "them: which value survives a crash depends on WPQ timing "
+            "(the PR 3 cross-thread commit-ordering bug class).",
+            "Sec. 4.8 (inter-thread ordering via Dependence Lists)",
+        ),
+        Rule(
+            "ASAP-R002",
+            "unordered-undo-chain",
+            ERROR,
+            "Chained same-line log entries (a dependent's logged old value "
+            "is its predecessor's uncommitted data) may persist out of "
+            "chain order: a crash between them leaves an undo chain whose "
+            "restore materialises never-durable data (the PR 5 bug class).",
+            "Sec. 5.5 + docs/RECOVERY.md (per-line log-persist ordering)",
+        ),
+        Rule(
+            "ASAP-R003",
+            "log-before-data-unordered",
+            ERROR,
+            "A data persist (DPO or eviction writeback) of an uncommitted "
+            "region's line is not ordered after that line's log persist: "
+            "the in-place bytes can become durable before the undo entry "
+            "that protects them.",
+            "Sec. 4.6.1 (LockBit protocol: log persists before data)",
+        ),
+        Rule(
+            "ASAP-R004",
+            "unordered-commit-order",
+            ERROR,
+            "A region's commit (or durable commit marker) is not ordered "
+            "after a Dependence-List predecessor's: recovery could replay "
+            "an effect without its cause.",
+            "Secs. 4.5, 4.8 (Dependence List gates Fig. 4 transition 4)",
+        ),
+    )
+}
+
+ALL_RULES: Dict[str, Rule] = {**LINT_RULES, **SANITIZER_RULES, **RACE_RULES}
 
 
 def get_rule(rule_id: str) -> Rule:

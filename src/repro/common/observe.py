@@ -25,6 +25,14 @@ class SimObserver:
 
     # -- write pending queue (mem/wpq.py) ---------------------------------
 
+    def wpq_submitted(self, wpq, op) -> None:
+        """``op`` arrived at ``wpq`` (may be backpressured before entry).
+
+        Submission order per channel is the arrival order the FIFO
+        admission guarantee (``wpq_fifo_backpressure``) turns into an
+        acceptance order; the race detector keys its per-channel
+        happens-before edges off this event."""
+
     def wpq_accepted(self, wpq, op) -> None:
         """``op`` entered ``wpq`` (the ADR durability point)."""
 
@@ -70,6 +78,13 @@ class SimObserver:
         writer's in-flight LPO for the same line (the per-line
         chain-ordering rule, ``AsapParams.ordered_line_log_persists``)."""
 
+    def lpo_chained(self, engine, rid, line, prev_owner) -> None:
+        """Region ``rid``'s log entry for ``line`` is mid-chain: its
+        logged "old value" is uncommitted data of ``prev_owner``. Fired at
+        LPO initiation whether or not ``ordered_line_log_persists`` will
+        actually order the two entries' durability - the race detector
+        uses it to enumerate conflicting same-line log persists."""
+
     def lpo_logged(self, engine, rid, line) -> None:
         """The WPQ accepted the LPO: ``line``'s old value is durable."""
 
@@ -81,3 +96,24 @@ class SimObserver:
 
     def log_freed(self, engine, rid, records) -> None:
         """The committed region's log records returned to the free pool."""
+
+    # -- redo commit markers (persist/asap_redo.py) ------------------------
+
+    def marker_issued(self, scheme, rid, seq, op) -> None:
+        """Region ``rid``'s durable commit marker (commit sequence ``seq``)
+        was sent towards a WPQ; ``op`` is the marker persist op."""
+
+    def marker_accepted(self, scheme, rid, seq, op) -> None:
+        """The WPQ accepted region ``rid``'s commit marker: the region is
+        durably committed and redo recovery will replay it."""
+
+    # -- locks (runtime/locks.py) ------------------------------------------
+
+    def lock_acquired(self, lock, thread_id) -> None:
+        """``thread_id`` now holds ``lock`` (uncontended grant or FIFO
+        hand-off). Together with :meth:`lock_released` this reconstructs
+        the synchronizes-with order the race detector attributes
+        cross-thread execution ordering to."""
+
+    def lock_released(self, lock, thread_id) -> None:
+        """``thread_id`` released ``lock``."""

@@ -457,6 +457,8 @@ class AsapEngine:
             and prev_owner != rid
             and self.dep_list_for(prev_owner).contains(prev_owner)
         )
+        if chained and self.observer is not None:
+            self.observer.lpo_chained(self, rid, meta.line, prev_owner)
         meta.lock_count += 1
         meta.owner_rid = rid
         line = meta.line

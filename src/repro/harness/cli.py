@@ -102,6 +102,12 @@ def main(argv=None) -> int:
         from repro.recovery.explain import main as recover_main
 
         return recover_main(list(argv[1:]))
+    if argv and argv[0] == "analyze":
+        # And the analysis front end (lint/sanitize/races/rules), the same
+        # one behind `python -m repro.analysis`.
+        from repro.analysis.__main__ import main as analyze_main
+
+        return analyze_main(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="asap-repro",
@@ -111,8 +117,8 @@ def main(argv=None) -> int:
         "experiment",
         help=f"one of {sorted(REGISTRY)}, 'all', 'config', 'workloads', "
         "'summary', 'crashtest', 'fuzz' (see 'fuzz --help'), "
-        "'explore' (see 'explore --help'), or 'recover' "
-        "(see 'recover --help')",
+        "'explore' (see 'explore --help'), 'recover' "
+        "(see 'recover --help'), or 'analyze' (see 'analyze --help')",
     )
     parser.add_argument(
         "--full",

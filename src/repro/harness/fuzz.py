@@ -139,20 +139,17 @@ class FuzzCase:
         return f"@example(threads={self.threads!r})  # pin on {test}{note}"
 
 
-def build_machine(case: FuzzCase) -> Machine:
-    """Instantiate the case's program on the case's machine config."""
-    config = SystemConfig.small(
-        wpq_entries=case.wpq_entries,
-        ordered_line_log_persists=case.ordered_line_log_persists,
-    )
-    if not case.fifo_backpressure:
-        config = dc_replace(
-            config,
-            memory=dc_replace(config.memory, wpq_fifo_backpressure=False),
-        )
-    m = Machine(config, make_scheme(case.scheme))
-    base = m.heap.alloc(64 * NUM_LINES)
-    lock = m.new_lock()
+def install_case(machine, case: FuzzCase) -> None:
+    """Install the case's thread programs on any machine-like target.
+
+    ``machine`` needs only ``heap.alloc``, ``new_lock`` and ``spawn`` -
+    satisfied by the simulated :class:`~repro.sim.machine.Machine` *and*
+    by the linter's :class:`~repro.analysis.linter.LintMachine`, so a
+    corpus case replays both as a timed crash-consistency check and as a
+    static lint target (the tier-1 corpus-replay suite does both).
+    """
+    base = machine.heap.alloc(64 * NUM_LINES)
+    lock = machine.new_lock()
 
     def worker(env, regions, delays):
         remaining = list(delays)
@@ -182,7 +179,22 @@ def build_machine(case: FuzzCase) -> Machine:
 
     for tidx, regions in enumerate(case.threads):
         delays = case.jitter[tidx] if tidx < len(case.jitter) else []
-        m.spawn(lambda env, r=regions, d=delays: worker(env, r, d))
+        machine.spawn(lambda env, r=regions, d=delays: worker(env, r, d))
+
+
+def build_machine(case: FuzzCase) -> Machine:
+    """Instantiate the case's program on the case's machine config."""
+    config = SystemConfig.small(
+        wpq_entries=case.wpq_entries,
+        ordered_line_log_persists=case.ordered_line_log_persists,
+    )
+    if not case.fifo_backpressure:
+        config = dc_replace(
+            config,
+            memory=dc_replace(config.memory, wpq_fifo_backpressure=False),
+        )
+    m = Machine(config, make_scheme(case.scheme))
+    install_case(m, case)
     return m
 
 
@@ -574,6 +586,87 @@ def run_fuzz(
     return report
 
 
+# -- directed mode (--from-races) ------------------------------------------
+
+
+@dataclass
+class DirectedReport:
+    """Outcome of a race-directed verification pass.
+
+    Instead of random sweeping, each case gets **one** instrumented run
+    through the happens-before race detector
+    (:mod:`repro.analysis.races`); every finding's witness (crash window)
+    is then verified with a handful of directed crash replays. ``runs``
+    counts every simulation run either step consumed, for comparison
+    against an undirected sweep's budget.
+    """
+
+    runs: int = 0
+    cases: int = 0
+    findings: int = 0
+    confirmed: int = 0
+    outcomes: List[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no race was confirmed."""
+        return self.confirmed == 0
+
+    def summary(self) -> str:
+        status = (
+            "no races" if self.findings == 0
+            else f"{self.confirmed}/{self.findings} race(s) CONFIRMED"
+        )
+        return (
+            f"fuzz --from-races: {status} over {self.cases} case(s) in "
+            f"{self.runs} simulation runs"
+        )
+
+
+def run_directed(
+    cases: List[Tuple[str, FuzzCase]],
+    max_points: int = 5,
+    progress: Optional[Callable[[str], None]] = None,
+) -> DirectedReport:
+    """Race-detect each (source, case) pair and verify every witness."""
+    from repro.analysis.races import detect_in_case, verify_finding
+
+    report = DirectedReport()
+    for source, case in cases:
+        result = detect_in_case(case, source=source)
+        report.runs += 1
+        report.cases += 1
+        if progress:
+            progress(
+                f"{source}: {len(result.findings)} candidate(s) from one "
+                f"instrumented run ({result.nodes} persist ops)"
+            )
+        for finding in result.findings:
+            outcome = verify_finding(case, finding, max_points=max_points)
+            report.runs += outcome.runs_used
+            report.findings += 1
+            if outcome.status == "CONFIRMED":
+                report.confirmed += 1
+            report.outcomes.append(
+                {
+                    "source": source,
+                    "rule_id": finding.rule_id,
+                    "status": outcome.status,
+                    "window": list(finding.window),
+                    "crash_fracs": finding.crash_fracs,
+                    "runs_used": outcome.runs_used,
+                    "evidence": outcome.evidence,
+                }
+            )
+            if progress:
+                progress(
+                    f"  {finding.rule_id} -> {outcome.status} "
+                    f"(+{outcome.runs_used} directed run(s)): "
+                    f"{outcome.evidence}"
+                )
+    return report
+
+
 # -- corpus ----------------------------------------------------------------
 
 
@@ -653,7 +746,43 @@ def main(argv=None) -> int:
         help="seed mutations from the corpus JSON files in DIR "
         "(typically tests/property/corpus)",
     )
+    parser.add_argument(
+        "--from-races",
+        action="store_true",
+        help="directed mode: race-detect each --corpus case in one "
+        "instrumented run, then verify each finding's witness with a "
+        "few targeted crash replays instead of random sweeping "
+        "(combine with --legacy-* to reproduce the pinned bugs)",
+    )
     args = parser.parse_args(argv)
+
+    if args.from_races:
+        import glob
+        import os
+
+        corpus_dir = args.corpus or os.path.join(
+            "tests", "property", "corpus"
+        )
+        cases: List[Tuple[str, FuzzCase]] = []
+        for path in sorted(glob.glob(os.path.join(corpus_dir, "*.json"))):
+            case, _meta = load_corpus_entry(path)
+            if args.legacy_backpressure:
+                case = dc_replace(case, fifo_backpressure=False)
+            if args.legacy_line_order:
+                case = dc_replace(case, ordered_line_log_persists=False)
+            if args.scheme != "both" and case.scheme != args.scheme:
+                continue
+            cases.append((os.path.basename(path), case))
+        directed = run_directed(
+            cases,
+            progress=lambda msg: print(f"  {msg}", file=sys.stderr, flush=True),
+        )
+        print(directed.summary())
+        print(
+            f"  (an undirected sweep of the same cases would spend the "
+            f"full --budget of {args.budget} runs)"
+        )
+        return 0 if directed.ok else 1
 
     corpus_cases: List[FuzzCase] = []
     if args.corpus:

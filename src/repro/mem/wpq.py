@@ -79,8 +79,12 @@ class PersistOp:
     on_complete: Optional[Callable[["PersistOp"], None]] = None
     on_drain: Optional[Callable[["PersistOp"], None]] = None
     op_id: int = field(default_factory=lambda: next(_op_ids))
+    submitted_at: Optional[int] = None
     accepted_at: Optional[int] = None
     dropped: bool = False
+    #: True when the op waited in the submission queue (or, legacy mode,
+    #: parked) before acceptance - i.e. acceptance was NOT immediate
+    backpressured: bool = False
 
     def materialized_payload(self) -> Dict[int, int]:
         """The concrete words this write carries, as of right now."""
@@ -177,15 +181,21 @@ class WritePendingQueue:
         submission order: an op arriving while earlier ops are still
         backpressured queues behind them, never ahead.
         """
+        if op.submitted_at is None:
+            op.submitted_at = self._scheduler.now
+            if self.observer is not None:
+                self.observer.wpq_submitted(self, op)
         if not self._fifo_backpressure:
             # Legacy mode: closures park on a wait queue; a submission that
             # races a freed slot can overtake them (the ordering bug).
             if not self.full:
                 self._accept(op)
             else:
+                op.backpressured = True
                 self._backpressure.park(lambda: self.submit(op))
             return
         if self.full or self._pending:
+            op.backpressured = True
             self._pending.append(op)
         else:
             self._accept(op)

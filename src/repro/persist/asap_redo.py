@@ -105,6 +105,10 @@ class AsapRedoLogging(PersistenceScheme):
 
     name = "asap_redo"
 
+    #: redo variant: marker gating replaces LockBit log-before-data (no
+    #: in-place writes before commit) and the per-line chain rule
+    ORDERING_EDGES = frozenset({"wpq-fifo", "marker-gate", "dep-commit-gate"})
+
     #: cycles committed data may linger cached before its in-place
     #: writeback is attempted (shared lazy-window rationale with HWRedo)
     REDO_DPO_DELAY = 1500
@@ -179,11 +183,15 @@ class AsapRedoLogging(PersistenceScheme):
         prev = previous_rid(rid)
         if prev is not None and self.dep_list_for(prev).contains(prev):
             entry.deps.add(prev)
+            if self.observer is not None:
+                self.observer.dep_captured(self, rid, prev)
         region = _RedoRegion(rid)
         self.regions[rid] = region
         thread.active = region
         thread.last_rid = rid
         thread.commit_signals[rid] = Signal(self.machine.scheduler)
+        if self.observer is not None:
+            self.observer.region_begun(self, thread, rid)
         done()
 
     def end(self, thread: _RedoThread, done: Callable[[], None]) -> None:
@@ -202,6 +210,8 @@ class AsapRedoLogging(PersistenceScheme):
             self._issue_lpo(thread, region, line)
         region.rewritten.clear()
         region.state = RegionState.DONE
+        if self.observer is not None:
+            self.observer.region_ended(self, thread, region.rid)
         self._try_commit(region, thread)
         done()  # asynchronous commit: retire immediately
 
@@ -237,10 +247,14 @@ class AsapRedoLogging(PersistenceScheme):
             (local_rid_of(rid) % _MARKER_SLOTS) * CACHE_LINE_BYTES
         )
 
-        def marker_accepted(_op) -> None:
+        def marker_accepted(op) -> None:
             # Durable: recovery will replay this region from its log.
+            if self.observer is not None:
+                self.observer.marker_accepted(self, rid, seq, op)
             self.dep_list_for(rid).remove_entry(rid)
             self._notify_commit(rid)
+            if self.observer is not None:
+                self.observer.region_committed(self, rid)
             signal = thread.commit_signals.pop(rid, None)
             if signal is not None:
                 signal.fire()
@@ -261,16 +275,17 @@ class AsapRedoLogging(PersistenceScheme):
                 lambda: self._issue_post_commit_dpos(region, thread),
             )
 
-        self.machine.memory.issue_persist(
-            PersistOp(
-                kind=MARKER,
-                target_line=marker_addr,
-                data_line=marker_addr,
-                payload={marker_addr: rid, marker_addr + 8: seq},
-                rid=rid,
-                on_complete=marker_accepted,
-            )
+        marker_op = PersistOp(
+            kind=MARKER,
+            target_line=marker_addr,
+            data_line=marker_addr,
+            payload={marker_addr: rid, marker_addr + 8: seq},
+            rid=rid,
+            on_complete=marker_accepted,
         )
+        if self.observer is not None:
+            self.observer.marker_issued(self, rid, seq, marker_op)
+        self.machine.memory.issue_persist(marker_op)
 
     def _issue_post_commit_dpos(self, region: _RedoRegion, thread: _RedoThread) -> None:
         pending = {"n": 1}
@@ -297,6 +312,8 @@ class AsapRedoLogging(PersistenceScheme):
             if meta is not None and self._last_writer.get(line) == region.rid:
                 meta.dirty = False
             pending["n"] += 1
+            if self.observer is not None:
+                self.observer.dpo_initiated(self, region.rid, line)
             self.machine.memory.issue_persist(
                 PersistOp(
                     kind=DPO,
@@ -393,6 +410,8 @@ class AsapRedoLogging(PersistenceScheme):
             )
             return
         entry.deps.add(owner)
+        if self.observer is not None:
+            self.observer.dep_captured(self, region.rid, owner)
         then()
 
     def _issue_lpo(self, thread: _RedoThread, region: _RedoRegion, line: int) -> None:
@@ -414,10 +433,14 @@ class AsapRedoLogging(PersistenceScheme):
         payload[record.header_word_addr(slot)] = line
         region.outstanding_lpos += 1
         self._last_writer[line] = region.rid
+        if self.observer is not None:
+            self.observer.lpo_initiated(self, region.rid, line, entry_addr)
 
         def accepted(_op) -> None:
             record.confirm(slot)
             region.outstanding_lpos -= 1
+            if self.observer is not None:
+                self.observer.lpo_logged(self, region.rid, line)
             self._try_commit(region, self._threads[region.rid >> 32])
 
         self.machine.memory.issue_persist(

@@ -28,6 +28,11 @@ class AsapScheme(PersistenceScheme):
 
     name = "asap"
 
+    #: the paper's full asynchronous-persistence ordering machinery
+    ORDERING_EDGES = frozenset(
+        {"wpq-fifo", "line-chain", "lockbit-gate", "dep-commit-gate"}
+    )
+
     def __init__(self):
         super().__init__()
         self.engine: Optional[AsapEngine] = None

@@ -12,10 +12,37 @@ Schemes also expose commit notifications (for the recovery oracle) and a
 from __future__ import annotations
 
 import abc
-from typing import Callable, List, Optional, TYPE_CHECKING
+from typing import Callable, FrozenSet, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.common.params import SystemConfig
     from repro.sim.machine import Machine
+
+#: The ordering-edge kinds a scheme may guarantee between persist
+#: operations (docs/RACES.md has the full semantics):
+#:
+#: - ``"wpq-fifo"``: same-channel persists are accepted in submission
+#:   order (requires ``MemoryParams.wpq_fifo_backpressure``).
+#: - ``"line-chain"``: chained same-line log persists are accepted in
+#:   chain order (requires ``AsapParams.ordered_line_log_persists``).
+#: - ``"lockbit-gate"``: a line's LPO is accepted before any DPO/WB of
+#:   that line is submitted (the LockBit log-before-data protocol).
+#: - ``"dep-commit-gate"``: a region commits only after all its persists
+#:   are accepted and every Dependence-List predecessor has committed.
+#: - ``"marker-gate"``: a durable commit marker is submitted only after
+#:   the region's LPOs are accepted and predecessors' markers accepted.
+#: - ``"sync-commit"``: ``end`` blocks until the region is durable, so
+#:   program order fully orders each thread's persists across regions.
+EDGE_KINDS = frozenset(
+    {
+        "wpq-fifo",
+        "line-chain",
+        "lockbit-gate",
+        "dep-commit-gate",
+        "marker-gate",
+        "sync-commit",
+    }
+)
 
 
 class SchemeThread:
@@ -36,8 +63,19 @@ class PersistenceScheme(abc.ABC):
     #: evaluation name ("np", "sw", "hwundo", "hwredo", "asap")
     name: str = "abstract"
 
+    #: the durability-ordering guarantees this scheme provides between
+    #: persist operations, as a subset of :data:`EDGE_KINDS`. This is the
+    #: scheme's self-description for the happens-before race detector
+    #: (:mod:`repro.analysis.races`) - and the first concrete piece of the
+    #: pluggable-scheme interface: a new scheme declares what it orders,
+    #: and the detector checks that declaration against observed traces.
+    ORDERING_EDGES: FrozenSet[str] = frozenset()
+
     def __init__(self):
         self.machine: Optional["Machine"] = None
+        #: optional :class:`repro.common.observe.SimObserver` notified of
+        #: scheme-level events (markers, redo LPOs, dependences).
+        self.observer = None
         #: listeners called with a packed region id when a region becomes
         #: durable (commits); the machine's oracle subscribes here.
         self.on_commit: List[Callable[[int], None]] = []
@@ -101,6 +139,25 @@ class PersistenceScheme(abc.ABC):
     def crash_flush(self) -> None:
         """Flush scheme-private persistence-domain state to the PM image
         (the machine flushes the WPQs itself)."""
+
+    # -- ordering self-description -----------------------------------------------
+
+    def ordering_edges(self, config: "SystemConfig") -> FrozenSet[str]:
+        """The ordering guarantees in force under ``config``.
+
+        Starts from the class-level :attr:`ORDERING_EDGES` and removes the
+        guarantees whose enabling knob is off: ``"wpq-fifo"`` needs
+        ``config.memory.wpq_fifo_backpressure`` and ``"line-chain"`` needs
+        ``config.asap.ordered_line_log_persists``. Both pinned historical
+        bugs were exactly these edges missing (ROADMAP PR 3 / PR 5), which
+        is why the race detector keys off this method, not the class attr.
+        """
+        edges = set(self.ORDERING_EDGES)
+        if not config.memory.wpq_fifo_backpressure:
+            edges.discard("wpq-fifo")
+        if not config.asap.ordered_line_log_persists:
+            edges.discard("line-chain")
+        return frozenset(edges)
 
     # -- helpers -----------------------------------------------------------------
 

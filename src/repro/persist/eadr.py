@@ -43,6 +43,10 @@ class EadrLogging(PersistenceScheme):
 
     name = "eadr"
 
+    #: caches are in the persistence domain: every store is durable at
+    #: retirement, so program/coherence order is durability order
+    ORDERING_EDGES = frozenset({"sync-commit"})
+
     def register_thread(self, thread_id: int, core_id: int) -> SchemeThread:
         return _EadrThread(thread_id, core_id)
 

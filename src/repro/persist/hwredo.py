@@ -46,6 +46,9 @@ class HardwareRedoLogging(PersistenceScheme):
 
     name = "hwredo"
 
+    #: end blocks on LPO acceptance, so commit order is program order
+    ORDERING_EDGES = frozenset({"sync-commit"})
+
     def __init__(self):
         super().__init__()
         #: line -> rid of the latest region to log it (the DPO filter)

@@ -71,6 +71,10 @@ class HardwareUndoLogging(PersistenceScheme):
 
     name = "hwundo"
 
+    #: synchronous commit orders per-thread persists across regions; the
+    #: per-line drain gate orders same-line LPOs within a region
+    ORDERING_EDGES = frozenset({"sync-commit", "line-chain"})
+
     def __init__(self):
         super().__init__()
         #: per-line LPO ordering at drain granularity (the scheme's

@@ -20,6 +20,11 @@ class NoPersistence(PersistenceScheme):
 
     name = "np"
 
+    #: no persistence, no durability guarantees - every conflicting
+    #: persist pair is (vacuously) a race, which is why the detector
+    #: refuses to analyse this scheme rather than report noise
+    ORDERING_EDGES = frozenset()
+
     def register_thread(self, thread_id: int, core_id: int) -> SchemeThread:
         return SchemeThread(thread_id, core_id)
 

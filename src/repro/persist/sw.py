@@ -42,6 +42,10 @@ class _SwThread(SchemeThread):
 class SoftwareLogging(PersistenceScheme):
     """Software undo logging (or flush-only when ``dpo_only``)."""
 
+    #: end blocks on every persist draining, so commit order is program
+    #: order (and within a region, clwb+sfence orders log before data)
+    ORDERING_EDGES = frozenset({"sync-commit"})
+
     def __init__(self, dpo_only: bool = False):
         super().__init__()
         self.dpo_only = dpo_only

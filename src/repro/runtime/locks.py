@@ -32,12 +32,15 @@ class SimLock:
         self._waiters: Deque[Tuple[int, Callable[[], None]]] = deque()
         self.acquisitions = 0
         self.contended_acquisitions = 0
+        self.observer = None
 
     def acquire(self, thread_id: int, done: Callable[[], None]) -> None:
         """Take the lock; ``done`` runs once the thread holds it."""
         if self.holder is None:
             self.holder = thread_id
             self.acquisitions += 1
+            if self.observer is not None:
+                self.observer.lock_acquired(self, thread_id)
             self._scheduler.after(_LOCK_OP_COST, done)
         else:
             if self.holder == thread_id:
@@ -53,10 +56,14 @@ class SimLock:
             raise SimulationError(
                 f"{self.name}: thread {thread_id} releasing lock held by {self.holder}"
             )
+        if self.observer is not None:
+            self.observer.lock_released(self, thread_id)
         if self._waiters:
             next_thread, next_done = self._waiters.popleft()
             self.holder = next_thread
             self.acquisitions += 1
+            if self.observer is not None:
+                self.observer.lock_acquired(self, next_thread)
             self._scheduler.after(_LOCK_OP_COST, next_done)
         else:
             self.holder = None

@@ -47,13 +47,16 @@ class Machine:
         scheme.attach(self)
         scheme.on_commit.append(self.oracle.on_commit)
         self.executors: List[ThreadExecutor] = []
+        self.locks: List[SimLock] = []
         self._next_thread_id = 0
         self.crashed = False
 
     # -- workload wiring -----------------------------------------------------
 
     def new_lock(self, name: Optional[str] = None) -> SimLock:
-        return SimLock(self.scheduler, name)
+        lock = SimLock(self.scheduler, name)
+        self.locks.append(lock)
+        return lock
 
     def spawn(self, gen_fn: Callable, core_id: Optional[int] = None) -> ThreadExecutor:
         """Add a workload thread.

@@ -1,0 +1,188 @@
+"""Persist-ordering race detector (repro.analysis.races).
+
+The acceptance bar, straight from the detector's design goals:
+
+* both pinned regression bugs (the PR 3 cross-thread commit-ordering
+  race and the PR 5 same-line undo-chain loss) are reported as
+  ``CONFIRMED`` findings when their legacy config flag is flipped back,
+* zero findings under the default (fixed) configuration - on the same
+  corpus cases and across every bundled workload, and
+* the fuzzer's directed mode verifies every witness in far fewer
+  simulation runs than the undirected CI smoke budget (200+ runs).
+"""
+
+import glob
+import os
+from dataclasses import replace as dc_replace
+
+import pytest
+
+from repro.analysis.races import (
+    CONFIRMED,
+    detect_in_case,
+    detect_in_workload,
+    verify_finding,
+)
+from repro.common.params import SystemConfig
+from repro.harness.fuzz import load_corpus_entry, run_directed
+from repro.harness.runner import default_config, default_params
+from repro.persist import make_scheme, scheme_names
+from repro.workloads import workload_names
+
+CORPUS_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, "property", "corpus"
+)
+CORPUS_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+CROSS_THREAD = os.path.join(CORPUS_DIR, "undo-cross-thread-rmw-wpq4.json")
+LINE_CHAIN = os.path.join(CORPUS_DIR, "undo-incomplete-line-chain-wpq1.json")
+
+#: the undirected fuzz smoke budget in CI; directed mode must beat it
+UNDIRECTED_CI_BUDGET = 200
+
+
+# -- per-scheme ordering-edge declarations ---------------------------------
+
+
+def test_every_scheme_declares_ordering_edges():
+    from repro.persist.base import EDGE_KINDS
+
+    for name in scheme_names():
+        scheme = make_scheme(name)
+        assert scheme.ORDERING_EDGES <= EDGE_KINDS, name
+
+
+def test_np_guarantees_nothing():
+    assert make_scheme("np").ORDERING_EDGES == frozenset()
+
+
+def test_asap_declares_all_four_hardware_edges():
+    assert make_scheme("asap").ORDERING_EDGES == frozenset(
+        {"wpq-fifo", "line-chain", "lockbit-gate", "dep-commit-gate"}
+    )
+    assert make_scheme("asap_redo").ORDERING_EDGES == frozenset(
+        {"wpq-fifo", "marker-gate", "dep-commit-gate"}
+    )
+
+
+def test_legacy_flags_drop_the_matching_edge():
+    scheme = make_scheme("asap")
+    fixed = SystemConfig.small()
+    assert scheme.ordering_edges(fixed) == scheme.ORDERING_EDGES
+
+    no_fifo = dc_replace(
+        fixed, memory=dc_replace(fixed.memory, wpq_fifo_backpressure=False)
+    )
+    assert "wpq-fifo" not in scheme.ordering_edges(no_fifo)
+    assert "line-chain" in scheme.ordering_edges(no_fifo)
+
+    no_chain = SystemConfig.small(ordered_line_log_persists=False)
+    assert "line-chain" not in scheme.ordering_edges(no_chain)
+    assert "wpq-fifo" in scheme.ordering_edges(no_chain)
+
+
+# -- the two pinned bugs must be rediscovered ------------------------------
+
+
+def _legacy_case(path, **flags):
+    case, _meta = load_corpus_entry(path)
+    return dc_replace(case, **flags)
+
+
+def test_detector_confirms_cross_thread_commit_race():
+    # PR 3's bug: without WPQ FIFO backpressure a later thread's commit
+    # can become durable before an earlier thread's data persist.
+    case = _legacy_case(CROSS_THREAD, fifo_backpressure=False)
+    result = detect_in_case(case, source="cross-thread")
+    rules = {f.rule_id for f in result.findings}
+    assert "ASAP-R001" in rules
+    finding = next(f for f in result.findings if f.rule_id == "ASAP-R001")
+    assert finding.status == CONFIRMED
+    assert finding.site_a["line"] == finding.site_b["line"]
+    assert finding.site_a["thread"] != finding.site_b["thread"]
+    assert finding.window, "finding must carry a crash window"
+    assert finding.crash_fracs, "finding must carry fuzzer crash fractions"
+
+
+def test_detector_confirms_same_line_undo_chain_loss():
+    # PR 5's bug: without ordered same-line log persists the second LPO
+    # of an undo chain can be accepted before the first.
+    case = _legacy_case(LINE_CHAIN, ordered_line_log_persists=False)
+    result = detect_in_case(case, source="line-chain")
+    rules = {f.rule_id for f in result.findings}
+    assert "ASAP-R002" in rules
+    finding = next(f for f in result.findings if f.rule_id == "ASAP-R002")
+    assert finding.status == CONFIRMED
+
+
+def test_confirmed_findings_need_no_extra_runs():
+    # an in-trace acceptance inversion is its own proof: verification
+    # must short-circuit without any directed replays
+    case = _legacy_case(CROSS_THREAD, fifo_backpressure=False)
+    result = detect_in_case(case)
+    finding = next(f for f in result.findings if f.rule_id == "ASAP-R001")
+    outcome = verify_finding(case, finding)
+    assert outcome.status == CONFIRMED
+    assert outcome.runs_used == 0
+
+
+# -- zero false positives on the fixed model -------------------------------
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[os.path.basename(p) for p in CORPUS_FILES]
+)
+def test_corpus_cases_clean_under_default_config(path):
+    case, _meta = load_corpus_entry(path)
+    case = dc_replace(
+        case, fifo_backpressure=True, ordered_line_log_persists=True
+    )
+    result = detect_in_case(case, source=os.path.basename(path))
+    assert result.ok, [f.to_dict() for f in result.findings]
+    assert result.nodes > 0, "tracer saw no persist ops - attach regressed?"
+
+
+@pytest.mark.parametrize("workload", workload_names())
+@pytest.mark.parametrize("scheme", ["asap", "asap_redo"])
+def test_workloads_clean_under_default_config(workload, scheme):
+    result = detect_in_workload(
+        workload,
+        scheme,
+        config=default_config(quick=True),
+        params=default_params(quick=True),
+    )
+    assert result.ok, [f.to_dict() for f in result.findings]
+    assert result.nodes > 0
+
+
+# -- directed fuzzing beats the undirected budget --------------------------
+
+
+def test_directed_mode_confirms_both_bugs_under_budget():
+    cases = [
+        (
+            "cross-thread",
+            _legacy_case(CROSS_THREAD, fifo_backpressure=False),
+        ),
+        (
+            "line-chain",
+            _legacy_case(LINE_CHAIN, ordered_line_log_persists=False),
+        ),
+    ]
+    report = run_directed(cases)
+    assert report.confirmed >= 2
+    assert not report.ok
+    assert report.runs < UNDIRECTED_CI_BUDGET
+    rules = {o["rule_id"] for o in report.outcomes}
+    assert {"ASAP-R001", "ASAP-R002"} <= rules
+
+
+def test_directed_mode_clean_on_fixed_corpus():
+    cases = []
+    for path in CORPUS_FILES:
+        case, _meta = load_corpus_entry(path)
+        cases.append((os.path.basename(path), case))
+    report = run_directed(cases)
+    assert report.ok
+    assert report.confirmed == 0
+    assert report.runs == len(cases)  # one instrumented run each, no replays

@@ -5,7 +5,9 @@ then refined after the baselines moved to drain-point durability, so its
 score function no longer reflects the final model. Not part of the
 library or test surface.
 """
-import itertools, math, sys, time
+import itertools
+import math
+import time
 from dataclasses import replace
 from repro.common.params import SystemConfig
 from repro.harness.runner import run_once, default_params
