@@ -15,6 +15,7 @@ Structural stalls modelled here, as in the paper:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -22,8 +23,15 @@ from repro.common.errors import SimulationError
 from repro.core.states import RegionState
 from repro.engine import Scheduler, WaitQueue
 
+#: global creation order for CL entries. Within one CL List this matches
+#: dict insertion order (rids are never reused), so sorting by
+#: ``(core, seq)`` reproduces the reference "cores ascending, entries in
+#: insertion order" iteration that the engine's fast-path slot index
+#: replays.
+_entry_seq = itertools.count()
 
-@dataclass
+
+@dataclass(slots=True)
 class CLSlot:
     """One CLPtr slot: a modified line awaiting its data persist."""
 
@@ -48,6 +56,7 @@ class CLEntry:
 
     def __init__(self, rid: int, max_slots: int):
         self.rid = rid
+        self.seq = next(_entry_seq)
         self.max_slots = max_slots
         self.state = RegionState.IN_PROGRESS
         self.slots: Dict[int, CLSlot] = {}

@@ -97,13 +97,21 @@ class AsapEngine:
         hierarchy: CacheHierarchy,
         volatile: MemoryImage,
         pm_alloc: Callable[[int], int],
+        fast: bool = False,
     ):
         """
         Args:
             pm_alloc: allocates persistent memory (used for log buffers and
                 log growth); provided by the runtime heap.
+            fast: elide persist-op payloads and undo snapshots - valid only
+                when the run has no crash window and no observer, because
+                nothing then ever reads the PM image. All control flow,
+                structure occupancy, and timing are unchanged; the
+                differential-identity gate holds the two modes to identical
+                RunResult stats (docs/PERF.md).
         """
         self.config = config
+        self.fast = fast
         self.params = config.asap
         self.scheduler = scheduler
         self.memory = memory
@@ -140,6 +148,20 @@ class AsapEngine:
         #: orders their acceptance.
         self._line_lpo_inflight: Dict[int, List[int]] = {}
         self._line_lpo_waiters: Dict[int, Deque] = {}
+        #: fast path only: line -> {entry rid: (core, entry seq, entry,
+        #: slot)} for every live CLPtr slot tracking that line, so
+        #: ``_try_issue_dpos_for_line`` avoids scanning every core's CL
+        #: List. Sorting by (core, entry seq) replays the reference scan
+        #: order exactly (see :mod:`repro.core.cl_list`).
+        self._slots_by_line: Optional[Dict[int, Dict[int, tuple]]] = (
+            {} if fast else None
+        )
+        self._dpo_distance = config.asap.dpo_distance
+        if fast and self.params.dpo_coalescing:
+            # Instance-level shadow: every internal caller picks up the
+            # flattened scan; the class method (the reference path and the
+            # coalescing-off ablation) is untouched.
+            self._coalescing_scan = self._coalescing_scan_fast
         #: commit listeners, e.g. the recovery oracle
         self.on_commit: List[Callable[[int], None]] = []
         self._quiescent_waiters: List[Callable[[], None]] = []
@@ -279,10 +301,13 @@ class AsapEngine:
         The functional write applies immediately; persistence machinery may
         delay retirement (``done``) on structural stalls only.
         """
+        if self.fast:
+            self._write_fast(thread, addr, values, done)
+            return
         line = line_base(addr)
         pm = self.hierarchy.is_persistent(line)
         old_snapshot = None
-        if pm and thread.active_rid is not None:
+        if pm and thread.active_rid is not None and not self.fast:
             old_snapshot = {w: self.volatile.read_word(w) for w in words_of_line(line)}
         self.volatile.write_range(addr, values)
         rid = thread.active_rid
@@ -303,6 +328,9 @@ class AsapEngine:
         done: Callable[[list], None],
     ) -> None:
         """A load by ``thread``; ``done`` receives the word values."""
+        if self.fast:
+            self._read_fast(thread, addr, nwords, done)
+            return
         line = line_base(addr)
         pm = self.hierarchy.is_persistent(line)
         rid = thread.active_rid
@@ -321,6 +349,154 @@ class AsapEngine:
                 deliver()
 
         self.hierarchy.access(thread.core_id, addr, False, after_access)
+
+    # -- the flattened fast-core pipeline ----------------------------------
+    #
+    # One frame for the happy path of a region write (free CLPtr slot, no
+    # cross-region owner) instead of the reference's
+    # write -> _region_write -> _capture_dependence -> _ensure_slot ->
+    # _after_slot -> _initiate_lpo chain. Every non-happy case falls back
+    # to the reference helpers, so stall behaviour, dependence capture,
+    # and chain ordering are byte-identical (the differential gate checks
+    # this end to end); payloads/snapshots are elided as everywhere in
+    # fast mode.
+
+    def _write_fast(self, thread: AsapThread, addr: int, values, done) -> None:
+        line = addr & ~63
+        hierarchy = self.hierarchy
+        pm = hierarchy.is_persistent(line)
+        self.volatile.write_range(addr, values)
+        rid = thread.active_rid
+        if not pm or rid is None:
+            hierarchy.access(thread.core_id, addr, True, lambda meta: done())
+            return
+
+        def after_access(meta: LineMeta) -> None:
+            owner = meta.owner_rid
+            if owner is not None and owner != rid:
+                # Cross-region owner: dependence capture (possibly a stall
+                # or a stale-tag cleanup) - reference pipeline.
+                self._region_write(thread, rid, meta, None, done)
+                return
+            entry = self.cl_lists[thread.core_id]._entries.get(rid)
+            if entry is None:
+                raise SimulationError(f"no CL entry for active region {rid}")
+            slots = entry.slots
+            slot = slots.get(line)
+            if slot is None:
+                if len(slots) >= entry.max_slots:
+                    # Slot stall: reference pipeline (parks, applies
+                    # pressure, rescans).
+                    self._ensure_slot(thread, rid, meta, None, done)
+                    return
+                entry.pressure = False
+                slot = CLSlot(line=line)
+                slots[line] = slot
+                self._slots_by_line.setdefault(line, {})[rid] = (
+                    thread.core_id,
+                    entry.seq,
+                    entry,
+                    slot,
+                )
+            entry.write_counter += 1
+            slot.last_write_stamp = entry.write_counter
+            slot.data_version += 1
+            slot.pending = True
+            slot.eager_backlog += 1
+            if owner is None:  # first write by this region
+                self._initiate_lpo_fast(thread, rid, meta, entry, done)
+            else:
+                self._coalescing_scan(entry, thread)
+                done()
+
+        hierarchy.access(thread.core_id, addr, True, after_access)
+
+    def _initiate_lpo_fast(
+        self,
+        thread: AsapThread,
+        rid: int,
+        meta: LineMeta,
+        entry: CLEntry,
+        done,
+    ) -> None:
+        """First-write LPO, unchained case (the fast write path diverts
+        owned lines before getting here, so there is no uncommitted
+        previous writer)."""
+        meta.lock_count += 1
+        meta.owner_rid = rid
+        line = meta.line
+        slot_idx, entry_addr, record, opened, sealed = thread.log.append(
+            rid, line, chained=False
+        )
+        if sealed is not None:
+            self._seal_record(sealed, rid)
+
+        def issue() -> None:
+            def accepted(op: PersistOp) -> None:
+                record.confirm(slot_idx)
+                self._lpo_accepted(op, thread)
+                self._lpo_chain_advance(line)
+
+            op = PersistOp(
+                kind=LPO,
+                target_line=entry_addr,
+                data_line=line,
+                payload=None,
+                rid=rid,
+                on_complete=accepted,
+            )
+            self.stats.lpos_initiated += 1
+            self._submit_lpo_ordered(op, line)
+            self._coalescing_scan(entry, thread)
+            done()
+
+        if opened:
+            self.lh_wpq_for(record.header_addr).acquire(record, issue)
+        else:
+            issue()
+
+    def _read_fast(self, thread: AsapThread, addr: int, nwords: int, done) -> None:
+        line = addr & ~63
+        hierarchy = self.hierarchy
+        pm = hierarchy.is_persistent(line)
+        rid = thread.active_rid
+        words = self.volatile._words
+
+        def after_access(meta: LineMeta) -> None:
+            if pm and rid is not None:
+                owner = meta.owner_rid
+                if owner is not None and owner != rid:
+                    self._capture_dependence(
+                        thread,
+                        rid,
+                        meta,
+                        lambda: done(
+                            [words.get(addr + 8 * i, 0) for i in range(nwords)]
+                        ),
+                    )
+                    return
+            done([words.get(addr + 8 * i, 0) for i in range(nwords)])
+
+        hierarchy.access(thread.core_id, addr, False, after_access)
+
+    def _coalescing_scan_fast(self, entry: CLEntry, thread: AsapThread) -> None:
+        """Flattened :meth:`_coalescing_scan` for the fast core (coalescing
+        enabled): the same boolean as :meth:`_dpo_ready` per slot, with the
+        cheap rejections first and the tag lookup last. Pure reads, so the
+        reordering cannot change the outcome."""
+        done_state = entry.state is RegionState.DONE
+        pressure = entry.pressure
+        threshold = entry.write_counter - self._dpo_distance
+        tags_get = self.hierarchy.tags.get
+        for slot in entry.slots.values():
+            if not slot.pending or slot.dpo_inflight:
+                continue
+            if not (done_state or pressure) and slot.last_write_stamp > threshold:
+                continue
+            meta = tags_get(slot.line)
+            if meta is not None and meta.lock_count > 0:
+                continue  # LPO still in flight
+            self._initiate_dpo(entry, slot, thread)
 
     # -- the region-write pipeline ----------------------------------------
 
@@ -404,6 +580,13 @@ class AsapEngine:
                 return
             entry.pressure = False
             slot = entry.add_slot(meta.line)
+            if self._slots_by_line is not None:
+                self._slots_by_line.setdefault(meta.line, {})[entry.rid] = (
+                    thread.core_id,
+                    entry.seq,
+                    entry,
+                    slot,
+                )
             if self.observer is not None:
                 self.observer.slot_opened(self, entry, meta.line)
         self._after_slot(thread, rid, entry, slot, meta, old_snapshot, done)
@@ -473,12 +656,17 @@ class AsapEngine:
             # word that names it (Sec. 5.5: "ASAP sends the logged value to
             # the WPQ and the address to the LH-WPQ"): the entry becomes
             # visible to recovery exactly when its value is durable.
-            payload = {
-                entry_addr + (w - line): old_snapshot.get(w, 0)
-                for w in words_of_line(line)
-            }
-            payload[record.header_addr] = rid
-            payload[record.header_word_addr(slot_idx)] = record.slot_word(slot_idx)
+            if self.fast:
+                payload = None
+            else:
+                payload = {
+                    entry_addr + (w - line): old_snapshot.get(w, 0)
+                    for w in words_of_line(line)
+                }
+                payload[record.header_addr] = rid
+                payload[record.header_word_addr(slot_idx)] = record.slot_word(
+                    slot_idx
+                )
 
             def accepted(op: PersistOp) -> None:
                 record.confirm(slot_idx)
@@ -605,10 +793,8 @@ class AsapEngine:
         if self.params.dpo_dropping:
             # Sec. 5.1: a queued DPO for the same line holds the same bytes
             # this LPO just logged; it need not reach PM.
-            dropped = self.memory.channel_for_line(line).wpq.drop_where(
-                lambda q: q.kind in (DPO, WB)
-                and q.target_line == line
-                and q.op_id != op.op_id
+            dropped = self.memory.channel_for_line(line).wpq.drop_data_ops_for_line(
+                line, exclude_op_id=op.op_id
             )
             self.stats.dpo_drops += dropped
         # Slots may have been waiting on the LockBit to issue their DPOs -
@@ -617,6 +803,16 @@ class AsapEngine:
         self._try_issue_dpos_for_line(line)
 
     def _try_issue_dpos_for_line(self, line: int) -> None:
+        if self._slots_by_line is not None:
+            bucket = self._slots_by_line.get(line)
+            if not bucket:
+                return
+            for core, seq, entry, slot in sorted(bucket.values()):
+                if self._dpo_ready(entry, slot):
+                    thread = self.threads.get(entry.rid >> 32)
+                    if thread is not None:
+                        self._initiate_dpo(entry, slot, thread)
+            return
         for cl in self.cl_lists:
             for entry in list(cl.entries()):
                 slot = entry.slot_for(line)
@@ -667,7 +863,10 @@ class AsapEngine:
     def _initiate_dpo(self, entry: CLEntry, slot: CLSlot, thread: AsapThread) -> None:
         line = slot.line
         meta = self.hierarchy.tags.get(line)
-        payload = {w: self.volatile.read_word(w) for w in words_of_line(line)}
+        if self.fast:
+            payload = None
+        else:
+            payload = {w: self.volatile.read_word(w) for w in words_of_line(line)}
         version = slot.data_version
         if not self.params.dpo_coalescing and slot.eager_backlog > 1:
             # No-Opt ablation: one DPO per write. All but the newest are
@@ -734,6 +933,12 @@ class AsapEngine:
 
     def _clear_slot(self, entry: CLEntry, slot: CLSlot, thread: AsapThread) -> None:
         entry.clear_slot(slot.line)
+        if self._slots_by_line is not None:
+            bucket = self._slots_by_line.get(slot.line)
+            if bucket is not None:
+                bucket.pop(entry.rid, None)
+                if not bucket:
+                    del self._slots_by_line[slot.line]
         cl = self.cl_lists[thread.core_id]
         cl.slot_waiters.wake_one()
         if entry.state is RegionState.DONE and entry.drained:
@@ -771,9 +976,7 @@ class AsapEngine:
         if self.params.lpo_dropping:
             # Sec. 5.1: log writes of a committed region still queued in a
             # WPQ need not reach PM.
-            dropped = self.memory.drop_from_wpqs(
-                lambda q: q.rid == rid and q.kind in (LPO, LOGHDR)
-            )
+            dropped = self.memory.drop_log_ops_for_rid(rid)
             self.stats.lpo_drops += dropped
         elif open_record is not None and open_record.entries:
             # Without LPO dropping the final partial record's header is

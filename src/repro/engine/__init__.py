@@ -6,7 +6,7 @@ callbacks on it. Determinism is guaranteed by breaking time ties with a
 monotonically increasing sequence number.
 """
 
-from repro.engine.scheduler import Scheduler, Event
+from repro.engine.scheduler import FastScheduler, Scheduler, Event
 from repro.engine.waiters import WaitQueue, Signal
 
-__all__ = ["Scheduler", "Event", "WaitQueue", "Signal"]
+__all__ = ["Scheduler", "FastScheduler", "Event", "WaitQueue", "Signal"]

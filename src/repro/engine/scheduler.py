@@ -108,3 +108,164 @@ class Scheduler:
             # Idle until the bound (the next event, if any, is beyond it).
             self.now = until
         return executed
+
+
+class _FastEvent:
+    """A scheduled callback, slimmed for the bucket queue.
+
+    Buckets are FIFO lists keyed by cycle, so no ``seq`` is needed for
+    ordering; ``time`` is kept because the WPQ's expedite logic reads the
+    pending drain event's deadline. Duck-type compatible with
+    :class:`Event` for every consumer in the tree (``cancel``/``time``).
+    """
+
+    __slots__ = ("time", "fn", "cancelled")
+
+    def __init__(self, time: int, fn: Callable[[], Any]):
+        self.time = time
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class FastScheduler(Scheduler):
+    """A bucket-queue scheduler with the same ordering semantics.
+
+    Same-cycle events dominate the event mix (a completed access wakes its
+    dependents at the same cycle), so the reference heap pays an ``Event``
+    comparison per push/pop for an ordering that is almost always "append".
+    This variant keeps one FIFO list per distinct cycle and a heap of the
+    distinct cycles only. Buckets drain via a cursor, so appends during
+    drain (an event at ``now`` scheduling another event at ``now``) land
+    behind the cursor exactly as a larger ``seq`` would in the heap - the
+    (time, scheduling-order) execution order is identical to
+    :class:`Scheduler`, which the differential-identity gate
+    (``tests/integration/test_vectorized_diff.py``) checks end to end.
+
+    The heap's top time is only popped once its bucket is exhausted:
+    popping early would pin the head and let a later ``at(t')`` with
+    ``now <= t' < head`` be mis-ordered behind it.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._buckets: dict[int, list[_FastEvent]] = {}
+        self._cursors: dict[int, int] = {}
+        self._times: list[int] = []
+
+    def __len__(self) -> int:
+        return sum(
+            1
+            for t, bucket in self._buckets.items()
+            for ev in bucket[self._cursors.get(t, 0) :]
+            if not ev.cancelled
+        )
+
+    def at(self, time: int, fn: Callable[[], Any]) -> _FastEvent:
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past (now={self.now}, time={time})"
+            )
+        time = int(time)
+        ev = _FastEvent(time, fn)
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [ev]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(ev)
+        return ev
+
+    def after(self, delay: int, fn: Callable[[], Any]) -> _FastEvent:
+        # Full body instead of delegating to at(): after() runs once per
+        # event and the extra frame is measurable. delay >= 0 implies the
+        # no-scheduling-in-the-past invariant.
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        time = self.now + int(delay)
+        ev = _FastEvent(time, fn)
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [ev]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(ev)
+        return ev
+
+    def peek_time(self) -> Optional[int]:
+        while self._times:
+            t = self._times[0]
+            bucket = self._buckets[t]
+            i = self._cursors.get(t, 0)
+            n = len(bucket)
+            while i < n and bucket[i].cancelled:
+                i += 1
+            if i < n:
+                if i:
+                    self._cursors[t] = i
+                return t
+            del self._buckets[t]
+            self._cursors.pop(t, None)
+            heapq.heappop(self._times)
+        return None
+
+    def step(self) -> bool:
+        t = self.peek_time()
+        if t is None:
+            return False
+        bucket = self._buckets[t]
+        i = self._cursors.get(t, 0)
+        ev = bucket[i]
+        self._cursors[t] = i + 1
+        self.now = t
+        ev.fn()
+        return True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Fused drain loop: one bucket at a time, no per-event peeking.
+
+        Firing order is exactly :meth:`step` in a loop (the tie-break
+        cursor semantics are shared); this override only removes the
+        per-event ``peek_time``/dict-lookup overhead of the generic
+        ``run``. Event callbacks may append to the current bucket (the
+        length is re-read after every fire) and schedule arbitrary future
+        cycles (the heap is consulted only between buckets).
+        """
+        executed = 0
+        buckets = self._buckets
+        cursors = self._cursors
+        times = self._times
+        while times:
+            t = times[0]
+            if until is not None and t > until:
+                break
+            bucket = buckets[t]
+            i = cursors.get(t, 0)
+            n = len(bucket)
+            if i >= n:
+                del buckets[t]
+                cursors.pop(t, None)
+                heapq.heappop(times)
+                continue
+            while i < n:
+                ev = bucket[i]
+                i += 1
+                cursors[t] = i
+                if ev.cancelled:
+                    # now is NOT advanced for cancelled events (a cancelled
+                    # drain tick can be the queue's last entry, and the
+                    # final clock value is part of the RunResult).
+                    continue
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; possible livelock"
+                    )
+                self.now = t
+                ev.fn()
+                executed += 1
+                n = len(bucket)
+        if until is not None and self.now < until:
+            self.now = until
+        return executed

@@ -72,6 +72,9 @@ class RunSpec:
     config: Optional[SystemConfig] = None
     params: Optional[WorkloadParams] = None
     sanitize: bool = False
+    #: run on the payload-free fast simulation core; ignored (reference
+    #: machine) when ``sanitize`` is set, since observers need the slow path
+    fast: bool = False
     builder: str = ""
     builder_kwargs: Tuple[Tuple[str, object], ...] = ()
     extras: Tuple[Tuple[str, str], ...] = ()
@@ -104,6 +107,7 @@ class RunSpec:
             repr(self.config),
             repr(self.params),
             self.sanitize,
+            self.fast,
             self.builder,
             repr(self.builder_kwargs),
             repr(self.extras),
@@ -177,7 +181,11 @@ def run_cell(spec: RunSpec) -> CellResult:
         machine = builder(**dict(spec.builder_kwargs))
     else:
         machine = runner.build_machine(
-            spec.workload, spec.scheme, spec.config, spec.params
+            spec.workload,
+            spec.scheme,
+            spec.config,
+            spec.params,
+            fast=spec.fast and not spec.sanitize,
         )
     if spec.sanitize:
         from repro.analysis.sanitizer import Sanitizer

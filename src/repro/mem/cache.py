@@ -34,8 +34,12 @@ class CacheArray:
         self.name = name
         self.params = params
         self._is_locked = is_locked or (lambda line: False)
+        # num_sets and assoc are derived properties on the frozen params;
+        # cache them - _set_of runs on every lookup/insert/invalidate.
+        self._num_sets = params.num_sets
+        self._assoc = params.assoc
         self._sets: List[OrderedDict] = [
-            OrderedDict() for _ in range(params.num_sets)
+            OrderedDict() for _ in range(self._num_sets)
         ]
         self.hits = 0
         self.misses = 0
@@ -46,7 +50,7 @@ class CacheArray:
         return self.params.latency
 
     def _set_of(self, line: int) -> OrderedDict:
-        return self._sets[(line >> 6) % self.params.num_sets]
+        return self._sets[(line >> 6) % self._num_sets]
 
     def lookup(self, line: int, touch: bool = True) -> bool:
         """Return True on hit; updates LRU recency when ``touch``."""
@@ -76,7 +80,7 @@ class CacheArray:
             s.move_to_end(line)
             return None
         victim = None
-        if len(s) >= self.params.assoc:
+        if len(s) >= self._assoc:
             victim = self._pick_victim(s)
             if victim is None:
                 raise SimulationError(

@@ -48,6 +48,8 @@ class Channel:
         timing: TimingModel,
         pm_image: MemoryImage,
         wpq_entries: int,
+        apply_payloads: bool = True,
+        indexed: bool = False,
     ):
         self.index = index
         self.stats = TrafficStats()
@@ -61,6 +63,8 @@ class Channel:
             drain_watermark=timing.mem.wpq_drain_watermark,
             lazy_drain_multiplier=timing.mem.wpq_lazy_drain_multiplier,
             fifo_backpressure=timing.mem.wpq_fifo_backpressure,
+            apply_payloads=apply_payloads,
+            indexed=indexed,
         )
 
     def _count_drain(self, op: PersistOp) -> None:
@@ -75,6 +79,7 @@ class MemorySystem:
         config: SystemConfig,
         scheduler: Scheduler,
         pm_image: MemoryImage,
+        fast: bool = False,
     ):
         self.config = config
         self.scheduler = scheduler
@@ -82,7 +87,15 @@ class MemorySystem:
         self.address_space: AddressSpace = config.address_space
         self.pm_image = pm_image
         self.channels: List[Channel] = [
-            Channel(i, scheduler, self.timing, pm_image, config.memory.wpq_entries)
+            Channel(
+                i,
+                scheduler,
+                self.timing,
+                pm_image,
+                config.memory.wpq_entries,
+                apply_payloads=not fast,
+                indexed=fast,
+            )
             for i in range(config.memory.num_channels)
         ]
 
@@ -125,6 +138,11 @@ class MemorySystem:
     def drop_from_wpqs(self, predicate: Callable[[PersistOp], bool]) -> int:
         """Drop matching queued persist ops from every channel's WPQ."""
         return sum(ch.wpq.drop_where(predicate) for ch in self.channels)
+
+    def drop_log_ops_for_rid(self, rid: int) -> int:
+        """LPO dropping across channels; equivalent to ``drop_from_wpqs``
+        with the rid/log-kind predicate, but O(answer) on indexed WPQs."""
+        return sum(ch.wpq.drop_log_ops_for_rid(rid) for ch in self.channels)
 
     def queued_dpo_for(self, data_line: int) -> Optional[PersistOp]:
         """Find an in-flight DPO/WB whose target is ``data_line`` (DPO

@@ -51,8 +51,12 @@ class CacheHierarchy:
         memory: MemorySystem,
         volatile_image: MemoryImage,
         is_persistent: Callable[[int], bool],
+        fast: bool = False,
     ):
         self.config = config
+        #: fast path: elide writeback payload snapshots (no crash window,
+        #: so drained payloads are never applied or read; docs/PERF.md)
+        self.fast = fast
         self.scheduler = scheduler
         self.memory = memory
         self.timing = memory.timing
@@ -70,6 +74,27 @@ class CacheHierarchy:
             for i in range(config.num_cores)
         ]
         self.llc = CacheArray("LLC", config.l3, locked)
+
+        #: fast path only: line -> set of private-level CacheArrays holding
+        #: it, so an LLC eviction invalidates just those instead of probing
+        #: all 2 x num_cores arrays. Invalidations on distinct arrays
+        #: commute, so the set's iteration order is irrelevant to the
+        #: simulated outcome.
+        self._private_holders: Optional[dict] = {} if fast else None
+        if fast:
+            # Latencies are constant for the machine's lifetime (the
+            # TimingModel precomputes them from the frozen config), so the
+            # inlined access path reads plain attributes.
+            self._lat_l1 = self.timing.l1_latency()
+            self._lat_l2 = self.timing.l2_latency()
+            self._lat_llc = self.timing.llc_latency()
+            self._lat_mem = (
+                self.timing.memory_read_latency(False),
+                self.timing.memory_read_latency(True),
+            )
+            # Shadow the class method on the instance: every consumer goes
+            # through self.access, the reference path is untouched.
+            self.access = self._access_fast
 
         #: scheme hooks (Sec. 5.3); set by the ASAP engine when active.
         self.evict_hook: Optional[EvictHook] = None
@@ -121,6 +146,80 @@ class CacheHierarchy:
             meta.version += 1
         self.scheduler.after(latency, lambda: done(meta))
 
+    def _access_fast(
+        self,
+        core_id: int,
+        addr: int,
+        is_write: bool,
+        done: Callable[[LineMeta], None],
+    ) -> None:
+        """Inlined :meth:`access` for the fast core: one frame for the
+        whole L1-hit path, identical statistics and fill/evict order."""
+        line = addr & ~63
+        self.accesses += 1
+        l1 = self.l1[core_id]
+        s1 = l1._sets[(line >> 6) % l1._num_sets]
+        if line in s1:
+            s1.move_to_end(line)
+            l1.hits += 1
+            latency = self._lat_l1
+            meta = self.tags.ensure(line, self.is_persistent(line))
+        else:
+            l1.misses += 1
+            latency, meta = self._miss_fast(core_id, line, l1)
+            if meta is None:
+                # Every way of some set is LPO-locked; retry shortly.
+                self.locked_set_stalls += 1
+                self.scheduler.after(
+                    _LOCKED_SET_RETRY,
+                    lambda: self._access_fast(core_id, addr, is_write, done),
+                )
+                return
+        if is_write:
+            meta.dirty = True
+            meta.version += 1
+        self.scheduler.after(latency, lambda: done(meta))
+
+    def _miss_fast(self, core_id: int, line: int, l1: CacheArray):
+        """L1-missed remainder of the fast lookup; returns (None, None) on
+        a locked-set structural stall (mirrors the reference's exception
+        path, with stats counted at exactly the same points)."""
+        pbit = self.is_persistent(line)
+        l2 = self.l2[core_id]
+        try:
+            s2 = l2._sets[(line >> 6) % l2._num_sets]
+            if line in s2:
+                s2.move_to_end(line)
+                l2.hits += 1
+                self._fill(l1, line)
+                return self._lat_l2, self.tags.ensure(line, pbit)
+            l2.misses += 1
+            llc = self.llc
+            s3 = llc._sets[(line >> 6) % llc._num_sets]
+            if line in s3:
+                s3.move_to_end(line)
+                llc.hits += 1
+                self._fill(l2, line)
+                self._fill(l1, line)
+                return self._lat_llc, self.tags.ensure(line, pbit)
+            llc.misses += 1
+            self.llc_misses += 1
+            latency = self._lat_mem[pbit]
+            if pbit:
+                self.memory.count_pm_read(line)
+            meta = self.tags.ensure(line, pbit)
+            if pbit and self.reload_hook is not None:
+                owner, extra = self.reload_hook(line)
+                latency += extra
+                if owner is not None:
+                    meta.owner_rid = owner
+            self._fill_llc(line)
+            self._fill(l2, line)
+            self._fill(l1, line)
+            return latency, meta
+        except SimulationError:
+            return None, None
+
     def _lookup_and_fill(self, core_id: int, line: int):
         pbit = self.is_persistent(line)
         if self.l1[core_id].lookup(line):
@@ -152,7 +251,20 @@ class CacheHierarchy:
 
     def _fill(self, array: CacheArray, line: int) -> None:
         """Insert into a private level; victims just lose presence there."""
-        array.insert(line)
+        victim = array.insert(line)
+        holders = self._private_holders
+        if holders is not None:
+            if victim is not None:
+                vset = holders.get(victim)
+                if vset is not None:
+                    vset.discard(array)
+                    if not vset:
+                        del holders[victim]
+            lset = holders.get(line)
+            if lset is None:
+                holders[line] = {array}
+            else:
+                lset.add(array)
 
     def _fill_llc(self, line: int) -> None:
         victim = self.llc.insert(line)
@@ -161,10 +273,14 @@ class CacheHierarchy:
 
     def _evict_from_llc(self, victim: int) -> None:
         """A line leaves the hierarchy: enforce inclusion, write back, spill."""
-        for array in self.l1:
-            array.invalidate(victim)
-        for array in self.l2:
-            array.invalidate(victim)
+        if self._private_holders is not None:
+            for array in self._private_holders.pop(victim, ()):
+                array.invalidate(victim)
+        else:
+            for array in self.l1:
+                array.invalidate(victim)
+            for array in self.l2:
+                array.invalidate(victim)
         meta = self.tags.drop(victim)
         if meta is None:
             return
@@ -174,7 +290,7 @@ class CacheHierarchy:
                 kind=WB,
                 target_line=victim,
                 data_line=victim,
-                payload=snapshot_line(self.volatile, victim),
+                payload=None if self.fast else snapshot_line(self.volatile, victim),
                 rid=meta.owner_rid,
             )
         if meta.pbit and self.observer is not None:
@@ -207,7 +323,7 @@ class CacheHierarchy:
             kind=WB,
             target_line=line,
             data_line=line,
-            payload=snapshot_line(self.volatile, line),
+            payload=None if self.fast else snapshot_line(self.volatile, line),
             rid=rid,
         )
         self.memory.issue_persist(op)
@@ -215,6 +331,8 @@ class CacheHierarchy:
 
     def drop_line(self, line: int) -> None:
         """Remove a line everywhere without writeback (test helper)."""
+        if self._private_holders is not None:
+            self._private_holders.pop(line, None)
         for array in self.l1:
             array.invalidate(line)
         for array in self.l2:

@@ -12,15 +12,20 @@ them with coherence messages. We model them once, hierarchy-wide, in this
 tag store: metadata exists while the line is cached anywhere and is handed
 to the eviction hooks when the line leaves the LLC (Sec. 5.3 spill path).
 The ``dirty`` bit here means "dirty somewhere in the hierarchy".
+
+``locked_lines()`` and ``owned_by()`` are served from index maps the
+:class:`LineMeta` setters keep in sync at every lock/unlock and ownership
+hand-off, so the queries cost O(answer), not O(cached lines). The index
+maps are the store's private books; the metadata fields stay the single
+source of truth (``tests/unit/test_tagstore_ops.py`` cross-checks them
+under generated op sequences).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 
-@dataclass
 class LineMeta:
     """Metadata for one cached line (keyed by line base address).
 
@@ -29,21 +34,80 @@ class LineMeta:
     flight, both LPOs hold the line; it unlocks when the count drains to
     zero. With a single bit the first completion would unlock the line
     while the second LPO is still outstanding.
+
+    ``lock_count`` and ``owner_rid`` are properties: their setters keep the
+    owning :class:`TagStore`'s locked/owner indexes current, so plain
+    attribute assignment everywhere in the engine transparently maintains
+    the O(1) query paths.
     """
 
-    line: int
-    pbit: bool = False
-    lock_count: int = 0
-    owner_rid: Optional[int] = None
-    dirty: bool = False
-    #: bumped on every write; diagnostic only (CLPtr slots carry their own
-    #: per-slot data version for DPO staleness checks).
-    version: int = 0
+    __slots__ = ("line", "pbit", "dirty", "version", "_lock_count", "_owner_rid", "_store")
+
+    def __init__(
+        self,
+        line: int,
+        pbit: bool = False,
+        lock_count: int = 0,
+        owner_rid: Optional[int] = None,
+        dirty: bool = False,
+        version: int = 0,
+    ):
+        self.line = line
+        self.pbit = pbit
+        self.dirty = dirty
+        #: bumped on every write; diagnostic only (CLPtr slots carry their
+        #: own per-slot data version for DPO staleness checks).
+        self.version = version
+        self._store: Optional["TagStore"] = None
+        self._lock_count = lock_count
+        self._owner_rid = owner_rid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LineMeta(line={self.line:#x}, pbit={self.pbit}, "
+            f"lock_count={self._lock_count}, owner_rid={self._owner_rid}, "
+            f"dirty={self.dirty}, version={self.version})"
+        )
+
+    @property
+    def lock_count(self) -> int:
+        return self._lock_count
+
+    @lock_count.setter
+    def lock_count(self, value: int) -> None:
+        was_locked = self._lock_count > 0
+        self._lock_count = value
+        store = self._store
+        if store is not None and was_locked != (value > 0):
+            if value > 0:
+                store._locked[self.line] = self
+            else:
+                store._locked.pop(self.line, None)
+
+    @property
+    def owner_rid(self) -> Optional[int]:
+        return self._owner_rid
+
+    @owner_rid.setter
+    def owner_rid(self, rid: Optional[int]) -> None:
+        old = self._owner_rid
+        self._owner_rid = rid
+        store = self._store
+        if store is None or old == rid:
+            return
+        if old is not None:
+            lines = store._owners.get(old)
+            if lines is not None:
+                lines.pop(self.line, None)
+                if not lines:
+                    del store._owners[old]
+        if rid is not None:
+            store._owners.setdefault(rid, {})[self.line] = self
 
     @property
     def lock_bit(self) -> bool:
         """The architectural LockBit: an LPO for this line is in flight."""
-        return self.lock_count > 0
+        return self._lock_count > 0
 
 
 class TagStore:
@@ -51,6 +115,10 @@ class TagStore:
 
     def __init__(self):
         self._meta: Dict[int, LineMeta] = {}
+        #: lines whose LockBit is set, kept current by the LineMeta setters
+        self._locked: Dict[int, LineMeta] = {}
+        #: owner rid -> {line: meta}, kept current by the LineMeta setters
+        self._owners: Dict[int, Dict[int, LineMeta]] = {}
 
     def __len__(self) -> int:
         return len(self._meta)
@@ -64,17 +132,39 @@ class TagStore:
         meta = self._meta.get(line)
         if meta is None:
             meta = LineMeta(line=line, pbit=pbit)
+            meta._store = self
             self._meta[line] = meta
         return meta
 
     def drop(self, line: int) -> Optional[LineMeta]:
         """Remove and return metadata when a line leaves the hierarchy."""
-        return self._meta.pop(line, None)
+        meta = self._meta.pop(line, None)
+        if meta is not None:
+            self._locked.pop(line, None)
+            if meta._owner_rid is not None:
+                lines = self._owners.get(meta._owner_rid)
+                if lines is not None:
+                    lines.pop(line, None)
+                    if not lines:
+                        del self._owners[meta._owner_rid]
+            meta._store = None
+        return meta
 
-    def locked_lines(self):
-        """Iterate over lines whose LockBit is currently set."""
-        return (m for m in self._meta.values() if m.lock_bit)
+    def locked_lines(self) -> List[LineMeta]:
+        """Lines whose LockBit is currently set, in line-address order.
 
-    def owned_by(self, rid: int):
-        """Iterate over lines currently owned by region ``rid``."""
-        return (m for m in self._meta.values() if m.owner_rid == rid)
+        Served from the locked index - O(locked), not a scan of every
+        cached line.
+        """
+        return [self._locked[line] for line in sorted(self._locked)]
+
+    def owned_by(self, rid: int) -> List[LineMeta]:
+        """Lines currently owned by region ``rid``, in line-address order.
+
+        Served from the per-owner index - O(owned), not a scan of every
+        cached line.
+        """
+        lines = self._owners.get(rid)
+        if not lines:
+            return []
+        return [lines[line] for line in sorted(lines)]

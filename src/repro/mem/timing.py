@@ -11,46 +11,77 @@ from repro.common.params import MemoryParams, SystemConfig
 
 
 class TimingModel:
-    """Derived latencies for one machine instance."""
+    """Derived latencies for one machine instance.
+
+    The config is frozen for the machine's lifetime, so every derived
+    number is computed once here and the methods are table lookups - the
+    persist path asks for ``mc_hop``/``pm_write_service`` on every single
+    persist op, which made the repeated round()/multiplier arithmetic a
+    measurable slice of the profile (docs/PERF.md).
+    """
 
     def __init__(self, config: SystemConfig):
         self.config = config
         self.mem: MemoryParams = config.memory
+        self._l1 = config.l1.latency
+        self._l2 = self._l1 + config.l2.latency
+        self._llc = self._l2 + config.l3.latency
+        self._mem_read = (
+            self._llc + self.mem.dram_read_latency,  # [False] DRAM
+            self._llc + self.mem.effective_pm_read_latency,  # [True] PM
+        )
+        nch = self.mem.num_channels
+        self._mult = tuple(
+            self.mem.numa_remote_multiplier
+            if ch in self.mem.numa_remote_channels
+            else 1.0
+            for ch in range(nch)
+        )
+        self._mc_hop = tuple(
+            round(self.mem.mc_hop_latency * m) for m in self._mult
+        )
+        self._pm_write_service = tuple(
+            max(1, round(self.mem.effective_pm_write_service * m))
+            for m in self._mult
+        )
 
     # -- read path ---------------------------------------------------------
 
     def l1_latency(self) -> int:
-        return self.config.l1.latency
+        return self._l1
 
     def l2_latency(self) -> int:
-        return self.config.l1.latency + self.config.l2.latency
+        return self._l2
 
     def llc_latency(self) -> int:
-        return self.l2_latency() + self.config.l3.latency
+        return self._llc
 
     def memory_read_latency(self, is_pm: bool) -> int:
         """LLC-miss service latency from DRAM or PM."""
-        device = (
-            self.mem.effective_pm_read_latency
-            if is_pm
-            else self.mem.dram_read_latency
-        )
-        return self.llc_latency() + device
+        return self._mem_read[is_pm]
 
     # -- persist path ------------------------------------------------------
 
     def channel_multiplier(self, channel_index: int) -> float:
         """NUMA scaling for one channel's persist path (Sec. 7.3)."""
-        if channel_index in self.mem.numa_remote_channels:
-            return self.mem.numa_remote_multiplier
-        return 1.0
+        if channel_index < len(self._mult):
+            return self._mult[channel_index]
+        return (
+            self.mem.numa_remote_multiplier
+            if channel_index in self.mem.numa_remote_channels
+            else 1.0
+        )
 
     def mc_hop(self, channel_index: int = 0) -> int:
         """One-way latency from the L1 to a memory controller."""
+        if channel_index < len(self._mc_hop):
+            return self._mc_hop[channel_index]
         return round(self.mem.mc_hop_latency * self.channel_multiplier(channel_index))
 
     def pm_write_service(self, channel_index: int = 0) -> int:
         """Cycles the channel is busy draining one line from the WPQ to PM."""
+        if channel_index < len(self._pm_write_service):
+            return self._pm_write_service[channel_index]
         return max(
             1,
             round(

@@ -45,7 +45,7 @@ WB = "wb"  # plain eviction writeback of a dirty persistent line
 LOGHDR = "loghdr"  # a filled log-record header moving from the LH-WPQ
 
 
-@dataclass
+@dataclass(slots=True)
 class PersistOp:
     """One pending 64-byte write to persistent memory.
 
@@ -87,9 +87,16 @@ class PersistOp:
     backpressured: bool = False
 
     def materialized_payload(self) -> Dict[int, int]:
-        """The concrete words this write carries, as of right now."""
+        """The concrete words this write carries, as of right now.
+
+        Fast-path runs elide payloads entirely (``payload is None``): the
+        run can never crash, so nothing ever reads the PM image and the
+        timing/stats surface is payload-independent (docs/PERF.md).
+        """
         if callable(self.payload):
             return self.payload()
+        if self.payload is None:
+            return {}
         return self.payload
 
 
@@ -107,6 +114,8 @@ class WritePendingQueue:
         drain_watermark: int = 0,
         lazy_drain_multiplier: int = 1,
         fifo_backpressure: bool = True,
+        apply_payloads: bool = True,
+        indexed: bool = False,
     ):
         """
         Args:
@@ -125,6 +134,15 @@ class WritePendingQueue:
                 and are invisible to dropping) - kept only so the fuzzer
                 and regression tests can demonstrate the commit-ordering
                 hazard that behaviour caused.
+            apply_payloads: False on the fast path - drained entries are
+                not applied to the PM image (the run cannot crash, so the
+                image is never read; timing and stats are unaffected).
+            indexed: maintain per-line / per-rid victim indexes so the
+                targeted drops (:meth:`drop_data_ops_for_line`,
+                :meth:`drop_log_ops_for_rid`) avoid scanning the whole
+                queue. Fast-path only: the reference machine keeps the
+                plain predicate scan so its behaviour (and its cost, the
+                benchmark's denominator) is untouched.
         """
         if capacity <= 0:
             raise SimulationError("WPQ capacity must be positive")
@@ -137,6 +155,17 @@ class WritePendingQueue:
         self._drain_watermark = max(0, min(drain_watermark, capacity - 1))
         self._lazy_multiplier = max(1, lazy_drain_multiplier)
         self._fifo_backpressure = fifo_backpressure
+        self._apply_payloads = apply_payloads
+        self._indexed = indexed
+        #: accepted DPO/WB entries by target line, in acceptance (FIFO)
+        #: order - the dict-of-dicts mirrors ``_entries`` ordering exactly
+        self._data_by_line: Optional[Dict[int, Dict[int, PersistOp]]] = (
+            {} if indexed else None
+        )
+        #: accepted LPO/LOGHDR entries by owning rid, acceptance order
+        self._log_by_rid: Optional[Dict[int, Dict[int, PersistOp]]] = (
+            {} if indexed else None
+        )
         #: queued entries someone is waiting to drain (a pending flush
         #: forces full-rate draining - fences push writes through)
         self._flush_pending = 0
@@ -205,9 +234,33 @@ class WritePendingQueue:
         while self._pending and not self.full:
             self._accept(self._pending.popleft())
 
+    def _index_add(self, op: PersistOp) -> None:
+        kind = op.kind
+        if kind == DPO or kind == WB:
+            self._data_by_line.setdefault(op.target_line, {})[op.op_id] = op
+        elif op.rid is not None:  # LPO / LOGHDR
+            self._log_by_rid.setdefault(op.rid, {})[op.op_id] = op
+
+    def _index_remove(self, op: PersistOp) -> None:
+        kind = op.kind
+        if kind == DPO or kind == WB:
+            bucket = self._data_by_line.get(op.target_line)
+            if bucket is not None:
+                bucket.pop(op.op_id, None)
+                if not bucket:
+                    del self._data_by_line[op.target_line]
+        elif op.rid is not None:
+            bucket = self._log_by_rid.get(op.rid)
+            if bucket is not None:
+                bucket.pop(op.op_id, None)
+                if not bucket:
+                    del self._log_by_rid[op.rid]
+
     def _accept(self, op: PersistOp) -> None:
         op.accepted_at = self._scheduler.now
         self._entries[op.op_id] = op
+        if self._indexed:
+            self._index_add(op)
         if op.on_drain is not None:
             self._flush_pending += 1
             # A flush arriving mid-lazy-interval expedites the drain loop.
@@ -222,13 +275,19 @@ class WritePendingQueue:
                     min(remaining, self._write_service()), self._drain_one
                 )
         self.accepted += 1
-        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        occupancy = len(self._entries)
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
         if self.observer is not None:
             self.observer.wpq_accepted(self, op)
         if op.on_complete is not None:
             cb, op.on_complete = op.on_complete, None
             cb(op)
-        self._ensure_draining()
+        if not self._draining and self._entries:  # _ensure_draining, inline
+            self._draining = True
+            self._drain_event = self._scheduler.after(
+                self._drain_interval(), self._drain_one
+            )
 
     # -- drain loop --------------------------------------------------------
 
@@ -253,7 +312,10 @@ class WritePendingQueue:
         if not self._entries:
             return
         _, op = self._entries.popitem(last=False)
-        self._pm_image.apply(op.materialized_payload())
+        if self._indexed:
+            self._index_remove(op)
+        if self._apply_payloads:
+            self._pm_image.apply(op.materialized_payload())
         self.drained += 1
         if self.observer is not None:
             self.observer.wpq_drained(self, op)
@@ -263,9 +325,16 @@ class WritePendingQueue:
             self._flush_pending -= 1
             cb, op.on_drain = op.on_drain, None
             cb(op)
-        self._admit_pending()
-        self._backpressure.wake_one()
-        self._ensure_draining()
+        if self._pending:
+            self._admit_pending()
+        if not self._fifo_backpressure:
+            # Only the legacy backpressure mode parks waiters here.
+            self._backpressure.wake_one()
+        if not self._draining and self._entries:  # _ensure_draining, inline
+            self._draining = True
+            self._drain_event = self._scheduler.after(
+                self._drain_interval(), self._drain_one
+            )
 
     # -- dropping ----------------------------------------------------------
 
@@ -286,9 +355,67 @@ class WritePendingQueue:
         victims count in ``self.dropped_pending`` alone, since they never
         entered the queue's books.
         """
-        victims = [op_id for op_id, op in self._entries.items() if predicate(op)]
-        for op_id in victims:
-            op = self._entries.pop(op_id)
+        victims = [op for op in self._entries.values() if predicate(op)]
+        return self._finish_drops(victims, predicate)
+
+    def drop_data_ops_for_line(self, line: int, exclude_op_id: Optional[int] = None) -> int:
+        """DPO dropping (Sec. 5.1): remove queued DPO/WB ops targeting
+        ``line``, except ``exclude_op_id``. Semantically identical to the
+        equivalent :meth:`drop_where` call; an indexed queue finds the
+        victims in O(answer) instead of scanning every entry."""
+        if self._data_by_line is not None:
+            bucket = self._data_by_line.get(line)
+            if bucket is None:
+                victims = []
+            else:
+                victims = [
+                    op for op in bucket.values() if op.op_id != exclude_op_id
+                ]
+        else:
+            victims = [
+                op
+                for op in self._entries.values()
+                if op.kind in (DPO, WB)
+                and op.target_line == line
+                and op.op_id != exclude_op_id
+            ]
+        if not victims and not self._pending:
+            return 0
+        return self._finish_drops(
+            victims,
+            lambda q: q.kind in (DPO, WB)
+            and q.target_line == line
+            and q.op_id != exclude_op_id,
+        )
+
+    def drop_log_ops_for_rid(self, rid: int) -> int:
+        """LPO dropping (Sec. 5.1): remove queued LPO/LOGHDR ops of a
+        committed region. Indexed counterpart of the predicate scan."""
+        if self._log_by_rid is not None:
+            bucket = self._log_by_rid.get(rid)
+            victims = list(bucket.values()) if bucket else []
+        else:
+            victims = [
+                op
+                for op in self._entries.values()
+                if op.rid == rid and op.kind in (LPO, LOGHDR)
+            ]
+        if not victims and not self._pending:
+            return 0
+        return self._finish_drops(
+            victims, lambda q: q.rid == rid and q.kind in (LPO, LOGHDR)
+        )
+
+    def _finish_drops(
+        self, victims, predicate: Callable[[PersistOp], bool]
+    ) -> int:
+        """Shared tail of every drop flavour: process accepted victims (in
+        FIFO order), then sweep the backpressured submission queue with the
+        full predicate, then refill freed entries."""
+        for op in victims:
+            del self._entries[op.op_id]
+            if self._indexed:
+                self._index_remove(op)
             op.dropped = True
             self.dropped += 1
             if self.observer is not None:
@@ -319,9 +446,11 @@ class WritePendingQueue:
                     cb(op)
             self._pending = survivors
         if victims:
-            self._admit_pending()
-            for _ in victims:
-                self._backpressure.wake_one()
+            if self._pending:
+                self._admit_pending()
+            if not self._fifo_backpressure:
+                for _ in victims:
+                    self._backpressure.wake_one()
         return len(victims) + dropped_pending
 
     def queued_ops(self):

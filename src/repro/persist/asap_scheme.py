@@ -46,6 +46,7 @@ class AsapScheme(PersistenceScheme):
             hierarchy=machine.hierarchy,
             volatile=machine.volatile,
             pm_alloc=machine.heap.alloc,
+            fast=self.fast,
         )
         self.engine.on_commit.append(self._notify_commit)
 

@@ -1,0 +1,169 @@
+"""The differential-identity gate for the fast simulation core.
+
+The fast core (``fast_path=True``) elides payload snapshots, observer
+dispatch, and the commit oracle, and swaps in the bucket-queue scheduler -
+but it must be *indistinguishable* from the reference machine in every
+:class:`~repro.sim.stats.RunResult` field. This suite pins that contract:
+
+* every Table 3 workload under every registered scheme (contended small
+  machine, so stalls/backpressure/dropping all fire),
+* two cells at the harness's default quick scale,
+* every fuzz-corpus regression schedule,
+* and the routing rules: ``sanitize`` (and the explain/race tooling,
+  which needs observer slots) always gets the reference machine, while
+  the ``fast`` flag on :class:`~repro.harness.parallel.RunSpec` reaches
+  :func:`~repro.harness.runner.build_machine`.
+
+Any divergence here is a bug in the fast path, never an accepted delta -
+see docs/PERF.md.
+"""
+
+import glob
+import os
+from dataclasses import asdict
+
+import pytest
+
+from repro.common.params import SystemConfig
+from repro.engine import FastScheduler, Scheduler
+from repro.harness import runner
+from repro.harness.fuzz import build_machine as fuzz_build_machine
+from repro.harness.fuzz import install_case, load_corpus_entry
+from repro.harness.parallel import RunSpec, run_cell
+from repro.mem.image import FastMemoryImage
+from repro.persist import make_scheme, scheme_names
+from repro.sim.machine import Machine
+from repro.workloads import WorkloadParams, workload_names
+
+CORPUS_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "property", "corpus"
+)
+CORPUS_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+MATRIX = [(w, s) for w in workload_names() for s in scheme_names()]
+
+
+def _config() -> SystemConfig:
+    # Small but contended: 8-entry WPQs and 4 cores keep backpressure,
+    # slot stalls, and LPO/DPO dropping live in short runs.
+    return SystemConfig.small(num_cores=4, wpq_entries=8)
+
+
+def _params(size: int = 256) -> WorkloadParams:
+    return WorkloadParams(
+        num_threads=4, ops_per_thread=16, value_bytes=size, setup_items=24
+    )
+
+
+def _pair(workload, scheme, config=None, params=None):
+    ref = runner.run_once(workload, scheme, config, params, fast=False)
+    fast = runner.run_once(workload, scheme, config, params, fast=True)
+    return asdict(ref), asdict(fast)
+
+
+@pytest.mark.parametrize(
+    "workload,scheme", MATRIX, ids=[f"{w}-{s}" for w, s in MATRIX]
+)
+def test_fast_matches_reference(workload, scheme):
+    ref, fast = _pair(workload, scheme, _config(), _params())
+    assert fast == ref
+
+
+@pytest.mark.parametrize("workload,scheme", [("HM", "asap"), ("Q", "hwundo")])
+def test_fast_matches_reference_quick_scale(workload, scheme):
+    # The harness's actual quick machine (8 cores, 16-entry WPQs).
+    ref, fast = _pair(workload, scheme)
+    assert fast == ref
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[os.path.basename(p) for p in CORPUS_FILES]
+)
+def test_corpus_case_matches_reference(path):
+    # Corpus schedules are adversarial by construction (each once broke
+    # the model); they must not tell the two cores apart either.
+    case, _ = load_corpus_entry(path)
+    case.fifo_backpressure = True
+    case.ordered_line_log_persists = True
+    results = []
+    for fast in (False, True):
+        config = SystemConfig.small(
+            wpq_entries=case.wpq_entries,
+            ordered_line_log_persists=case.ordered_line_log_persists,
+        )
+        machine = Machine(config, make_scheme(case.scheme), fast_path=fast)
+        install_case(machine, case)
+        results.append(asdict(machine.run()))
+    assert results[1] == results[0]
+
+
+def test_fast_machine_wiring():
+    fast = runner.build_machine("Q", "asap", _config(), _params(), fast=True)
+    assert fast.fast_path
+    assert type(fast.scheduler) is FastScheduler
+    assert isinstance(fast.volatile, FastMemoryImage)
+    ref = runner.build_machine("Q", "asap", _config(), _params(), fast=False)
+    assert not ref.fast_path
+    assert type(ref.scheduler) is Scheduler
+
+
+def test_sanitize_forces_reference_machine(monkeypatch):
+    built = {}
+    orig = runner.build_machine
+
+    def spy(*args, **kwargs):
+        machine = orig(*args, **kwargs)
+        built["machine"] = machine
+        return machine
+
+    monkeypatch.setattr(runner, "build_machine", spy)
+    runner.run_once("Q", "asap", _config(), _params(), sanitize=True, fast=True)
+    machine = built["machine"]
+    assert machine.fast_path is False
+    assert type(machine.scheduler) is Scheduler
+    # The sanitizer did attach (it needs the reference observer slots).
+    assert machine.hierarchy.observer is not None
+
+
+def test_runspec_fast_flag_routing(monkeypatch):
+    built = {}
+    orig = runner.build_machine
+
+    def spy(*args, **kwargs):
+        machine = orig(*args, **kwargs)
+        built["machine"] = machine
+        return machine
+
+    monkeypatch.setattr(runner, "build_machine", spy)
+    base = dict(
+        key=("Q",), workload="Q", scheme="asap",
+        config=_config(), params=_params(),
+    )
+    run_cell(RunSpec(fast=True, **base))
+    assert built["machine"].fast_path is True
+    run_cell(RunSpec(fast=True, sanitize=True, **base))
+    assert built["machine"].fast_path is False
+    run_cell(RunSpec(**base))
+    assert built["machine"].fast_path is False
+
+
+def test_runspec_fast_flag_changes_cache_token():
+    base = dict(
+        key=("Q",), workload="Q", scheme="asap",
+        config=_config(), params=_params(),
+    )
+    assert (
+        RunSpec(fast=True, **base).cache_token()
+        != RunSpec(**base).cache_token()
+    )
+
+
+def test_explain_tooling_stays_on_reference_machine():
+    # The recovery replayer and race tracer build through the fuzz
+    # harness's machine factory, which never opts into the fast core.
+    case, _ = load_corpus_entry(CORPUS_FILES[0])
+    case.fifo_backpressure = True
+    case.ordered_line_log_persists = True
+    machine = fuzz_build_machine(case)
+    assert machine.fast_path is False
+    assert type(machine.scheduler) is Scheduler

@@ -1,6 +1,8 @@
 """Unit tests for the tag store, op dataclasses, and error types."""
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.common.errors import (
     ConfigError,
@@ -10,8 +12,12 @@ from repro.common.errors import (
     ReproError,
     SimulationError,
 )
+from repro.common.params import SystemConfig
 from repro.mem.tagstore import LineMeta, TagStore
+from repro.persist import make_scheme
 from repro.sim import ops
+from repro.sim.machine import Machine
+from repro.workloads import WorkloadParams, get_workload, workload_names
 
 
 # -- tag store ---------------------------------------------------------------
@@ -55,6 +61,85 @@ def test_locked_and_owned_iterators():
     b.owner_rid = 7
     assert [m.line for m in tags.locked_lines()] == [0x1000]
     assert [m.line for m in tags.owned_by(7)] == [0x2000]
+
+
+# -- index <-> metadata consistency -------------------------------------------
+
+
+def assert_indexes_match_metadata(tags: TagStore) -> None:
+    """The locked/owner indexes must agree with a full metadata scan."""
+    scan_locked = sorted(m.line for m in tags._meta.values() if m.lock_bit)
+    assert [m.line for m in tags.locked_lines()] == scan_locked
+    scan_owners = {}
+    for m in tags._meta.values():
+        if m.owner_rid is not None:
+            scan_owners.setdefault(m.owner_rid, []).append(m.line)
+    assert {rid: sorted(lines) for rid, lines in scan_owners.items()} == {
+        rid: [m.line for m in tags.owned_by(rid)] for rid in tags._owners
+    }
+    for rid, lines in tags._owners.items():
+        for line, meta in lines.items():
+            assert tags._meta.get(line) is meta and meta.owner_rid == rid
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    steps=st.lists(
+        st.tuples(
+            st.sampled_from(["ensure", "lock", "unlock", "own", "disown", "drop"]),
+            st.integers(0, 7),  # line selector
+            st.integers(0, 3),  # rid selector
+        ),
+        max_size=80,
+    )
+)
+def test_index_consistency_under_random_ops(steps):
+    tags = TagStore()
+    for op, line_sel, rid_sel in steps:
+        line = 0x1000 + line_sel * 64
+        meta = tags.get(line)
+        if op == "ensure" or meta is None:
+            meta = tags.ensure(line, pbit=bool(line_sel % 2))
+        if op == "lock":
+            meta.lock_count += 1
+        elif op == "unlock" and meta.lock_count > 0:
+            meta.lock_count -= 1
+        elif op == "own":
+            meta.owner_rid = rid_sel  # ownership hand-off
+        elif op == "disown":
+            meta.owner_rid = None
+        elif op == "drop":
+            tags.drop(line)
+        assert_indexes_match_metadata(tags)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    workload=st.sampled_from(workload_names()),
+    scheme=st.sampled_from(["asap", "asap_redo", "hwundo"]),
+    seed=st.integers(0, 20),
+)
+def test_index_consistency_under_workloads(workload, scheme, seed):
+    """Indexes stay consistent throughout real simulations, not just at rest."""
+    params = WorkloadParams(num_threads=2, ops_per_thread=8, setup_items=12, seed=seed)
+    machine = Machine(SystemConfig.small(), make_scheme(scheme))
+    get_workload(workload, params).install(machine)
+    for executor in machine.executors:
+        executor.start()
+    events = 0
+    while machine.scheduler.step():
+        events += 1
+        if events % 64 == 0:
+            assert_indexes_match_metadata(machine.hierarchy.tags)
+    assert_indexes_match_metadata(machine.hierarchy.tags)
 
 
 # -- error hierarchy ------------------------------------------------------------

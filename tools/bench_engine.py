@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Benchmark the fast simulation core against the reference machine.
+
+Runs the Fig. 7 cell matrix (every Table 3 workload at 64 B and 2 KB
+region sizes, under SW/HWRedo/HWUndo/ASAP/NP) twice per cell - once on
+the reference machine and once on the payload-free fast core - and
+writes ``BENCH_engine.json`` with per-cell wall times, simulated-ops
+throughput, and speedups.
+
+The headline number is the *total-time-weighted* speedup (total reference
+seconds over total fast seconds): a per-cell geomean would let the many
+cheap NP cells dilute the log-scheme cells where nearly all of the wall
+time - and therefore all of the practical benefit - lives.
+
+Both runs of a cell are also cross-checked for stat identity (the same
+invariant ``tests/integration/test_vectorized_diff.py`` enforces), so a
+benchmark run doubles as a differential smoke test.
+
+Usage::
+
+    python tools/bench_engine.py                       # quick, full matrix
+    python tools/bench_engine.py --workloads HM Q      # subset
+    python tools/bench_engine.py --full                # Table 2 machine
+    make bench-json                                    # quick, full matrix
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import asdict
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.experiments.fig7 import SCHEMES, SIZES  # noqa: E402
+from repro.harness.runner import (  # noqa: E402
+    default_config,
+    default_params,
+    run_once,
+)
+from repro.workloads import workload_names  # noqa: E402
+
+
+def _time_cell(workload, scheme, quick, size, fast, repeat):
+    """Best-of-``repeat`` wall time plus the (deterministic) RunResult."""
+    best = None
+    result = None
+    for _ in range(repeat):
+        config = default_config(quick)
+        params = default_params(quick, value_bytes=size)
+        start = time.perf_counter()
+        result = run_once(workload, scheme, config, params, fast=fast)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def bench(workloads, sizes, quick, repeat, verbose=True):
+    cells = []
+    total_ref = total_fast = 0.0
+    divergences = 0
+    for workload in workloads:
+        for size in sizes:
+            for label, scheme in [("SW", "sw")] + SCHEMES:
+                ref_s, ref = _time_cell(workload, scheme, quick, size, False, repeat)
+                fast_s, fast = _time_cell(workload, scheme, quick, size, True, repeat)
+                identical = asdict(ref) == asdict(fast)
+                if not identical:
+                    divergences += 1
+                total_ref += ref_s
+                total_fast += fast_s
+                cell = {
+                    "workload": workload,
+                    "scheme": label,
+                    "value_bytes": size,
+                    "ref_seconds": round(ref_s, 4),
+                    "fast_seconds": round(fast_s, 4),
+                    "ops_executed": ref.ops_executed,
+                    "ref_ops_per_sec": round(ref.ops_executed / ref_s, 1),
+                    "fast_ops_per_sec": round(fast.ops_executed / fast_s, 1),
+                    "speedup": round(ref_s / fast_s, 3),
+                    "identical_stats": identical,
+                }
+                cells.append(cell)
+                if verbose:
+                    print(
+                        f"  {workload}/{label}/{size}B: ref {ref_s:.3f}s "
+                        f"fast {fast_s:.3f}s  {ref_s / fast_s:.2f}x"
+                        f"{'' if identical else '  ** STATS DIVERGE **'}",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+    return {
+        "config": "quick" if quick else "full",
+        "repeat": repeat,
+        "schemes": ["SW"] + [label for label, _ in SCHEMES],
+        "cells": cells,
+        "total": {
+            "ref_seconds": round(total_ref, 3),
+            "fast_seconds": round(total_fast, 3),
+            "speedup_time_weighted": round(total_ref / total_fast, 3),
+        },
+        "divergences": divergences,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workloads", nargs="*", default=None, help="Table 3 subset (default: all)"
+    )
+    parser.add_argument(
+        "--sizes", nargs="*", type=int, default=None, help="region value bytes"
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="full Table 2 machine (slow)"
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, help="timings are best-of-N (default 1)"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_engine.json", metavar="FILE", help="output path"
+    )
+    args = parser.parse_args(argv)
+
+    workloads = args.workloads or list(workload_names())
+    sizes = args.sizes or list(SIZES)
+    report = bench(workloads, sizes, quick=not args.full, repeat=max(1, args.repeat))
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    total = report["total"]
+    print(
+        f"wrote {args.out}: {len(report['cells'])} cells, "
+        f"ref {total['ref_seconds']}s fast {total['fast_seconds']}s, "
+        f"time-weighted speedup {total['speedup_time_weighted']}x, "
+        f"{report['divergences']} divergences"
+    )
+    return 1 if report["divergences"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
