@@ -140,6 +140,13 @@ class RaceTracer(SimObserver):
         self.commits: Dict[int, int] = {}
         #: lock name -> [(thread, acquire cycle)] hand-off history
         self.lock_order: Dict[str, List[Tuple[int, int]]] = {}
+        #: line -> cycle the in-flight memory fetch started (MSHR allocate)
+        self._fetch_started: Dict[int, int] = {}
+        #: completed fetch windows: (line, start, end, merged requesters).
+        #: Overlapping windows are the memory-level parallelism the
+        #: non-blocking hierarchy recovers; persists accepted inside a
+        #: window raced an outstanding miss.
+        self.miss_windows: List[Tuple[int, int, int, int]] = []
         self.events = 0
 
     # -- wiring ------------------------------------------------------------
@@ -212,6 +219,23 @@ class RaceTracer(SimObserver):
     def marker_issued(self, scheme, rid, seq, op) -> None:
         self.events += 1
         self._marker_ops[op.op_id] = (rid, seq)
+
+    # -- cache hierarchy events --------------------------------------------
+
+    def mshr_allocated(self, hierarchy, line, core_id) -> None:
+        self.events += 1
+        self._fetch_started[line] = self._now()
+
+    def mshr_merged(self, hierarchy, line, core_id) -> None:
+        self.events += 1
+
+    def mshr_filled(self, hierarchy, line, waiters) -> None:
+        self.events += 1
+        start = self._fetch_started.pop(line, self._now())
+        self.miss_windows.append((line, start, self._now(), waiters))
+
+    def mshr_stalled(self, hierarchy, line, core_id) -> None:
+        self.events += 1
 
     # -- lock events -------------------------------------------------------
 

@@ -154,6 +154,16 @@ SANITIZER_RULES = {
             "a record slot that may belong to another region.",
             "Secs. 4.4, 5.5 (log freeing at commit, circular reuse)",
         ),
+        Rule(
+            "ASAP-S005",
+            "mshr-consistency",
+            ERROR,
+            "The non-blocking hierarchy's outstanding-miss tracking broke "
+            "its contract: a second fetch was allocated for a line already "
+            "in flight, a merge or fill targeted a line with no in-flight "
+            "fetch, or an MSHR file held more entries than its capacity.",
+            "docs/MEMORY.md (MSHR allocate/merge/replay rules)",
+        ),
     )
 }
 

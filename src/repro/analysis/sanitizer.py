@@ -49,6 +49,8 @@ class Sanitizer(SimObserver):
         self._logged: Set[Tuple[int, int]] = set()
         #: rid -> set of rids it depends on (mirror of Dep slots over time)
         self._deps: Dict[int, Set[int]] = {}
+        #: lines with an in-flight MSHR fetch (mirror of the LLC file)
+        self._mshr_inflight: Set[int] = set()
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -253,6 +255,67 @@ class Sanitizer(SimObserver):
                 line=meta.line,
                 owner=meta.owner_rid,
             )
+
+    def mshr_allocated(self, hierarchy, line, core_id) -> None:
+        self.events_checked += 1
+        if line in self._mshr_inflight:
+            self._flag(
+                "ASAP-S005",
+                f"a second memory fetch was allocated for line {line:#x} "
+                "while one is already in flight (secondary misses must "
+                "merge, not refetch)",
+                source="mshr",
+                line=line,
+                core=core_id,
+            )
+        self._mshr_inflight.add(line)
+        mshrs = hierarchy.llc_mshrs
+        if mshrs is not None and len(mshrs) > mshrs.capacity:
+            self._flag(
+                "ASAP-S003",
+                f"{mshrs.name} holds {len(mshrs)} outstanding misses "
+                f"(capacity {mshrs.capacity}): an exhaustion stall was "
+                "bypassed",
+                source="mshr",
+                occupancy=len(mshrs),
+                capacity=mshrs.capacity,
+            )
+
+    def mshr_merged(self, hierarchy, line, core_id) -> None:
+        self.events_checked += 1
+        if line not in self._mshr_inflight:
+            self._flag(
+                "ASAP-S005",
+                f"a miss for line {line:#x} merged into a fetch that is "
+                "not in flight",
+                source="mshr",
+                line=line,
+                core=core_id,
+            )
+
+    def mshr_filled(self, hierarchy, line, waiters) -> None:
+        self.events_checked += 1
+        if line not in self._mshr_inflight:
+            self._flag(
+                "ASAP-S005",
+                f"a fill completed for line {line:#x} with no in-flight "
+                "fetch",
+                source="mshr",
+                line=line,
+            )
+        self._mshr_inflight.discard(line)
+        if waiters <= 0:
+            self._flag(
+                "ASAP-S005",
+                f"the fetch for line {line:#x} completed with no queued "
+                "requester (every fetch starts with its primary miss's "
+                "completion queued)",
+                source="mshr",
+                line=line,
+            )
+
+    def mshr_stalled(self, hierarchy, line, core_id) -> None:
+        self.events_checked += 1
 
     # -- reporting ---------------------------------------------------------
 

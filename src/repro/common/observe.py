@@ -48,6 +48,22 @@ class SimObserver:
         """A persistent line left the LLC; ``wb_op`` is its writeback
         persist op (None when the line was clean)."""
 
+    def mshr_allocated(self, hierarchy, line, core_id) -> None:
+        """A primary LLC miss allocated an MSHR and started a memory
+        fetch for ``line`` on behalf of ``core_id``."""
+
+    def mshr_merged(self, hierarchy, line, core_id) -> None:
+        """A secondary miss from ``core_id`` merged into the in-flight
+        fetch for ``line`` (no second memory read is issued)."""
+
+    def mshr_filled(self, hierarchy, line, waiters) -> None:
+        """The fetch for ``line`` completed: the line was installed and
+        the ``waiters`` queued requesters' completions replayed."""
+
+    def mshr_stalled(self, hierarchy, line, core_id) -> None:
+        """A primary miss found every needed MSHR file full; ``core_id``
+        stalls until an in-flight fill frees a register."""
+
     # -- dependence list (core/dependence.py) -----------------------------
 
     def dep_entry_opened(self, dep_list, entry) -> None:

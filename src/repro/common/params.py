@@ -89,6 +89,23 @@ class MemoryParams:
     #: and escape dropping - the cross-thread commit-ordering hazard the
     #: crash fuzzer demonstrates. Keep True outside regression tests.
     wpq_fifo_backpressure: bool = True
+    #: Miss Status Holding Registers per cache array (each core's L1 and
+    #: L2, and the shared LLC). A primary LLC miss allocates a register at
+    #: every level it missed in and starts one memory fetch; secondary
+    #: misses to the same line merge into that fetch and are replayed, in
+    #: arrival order, when the fill completes; a primary miss that finds
+    #: no free register stalls the requesting core until a fill frees one.
+    #: ``1`` reproduces a classic blocking cache (one outstanding fetch
+    #: system-wide - the fig10-overlap experiment's comparator). ``0``
+    #: selects the legacy pre-MSHR functional model (lines installed
+    #: immediately at access time, no outstanding-miss tracking), kept for
+    #: regression demos recorded under the old timing.
+    mshrs_per_cache: int = 16
+    #: Channels drain their WPQs concurrently - each PM device services
+    #: writes independently. False serializes write service across all
+    #: channels behind a single global bus token (the legacy lockstep
+    #: drain model, kept as the fig10-overlap experiment's comparator).
+    overlapped_drains: bool = True
 
     def __post_init__(self):
         if self.num_controllers <= 0 or self.channels_per_controller <= 0:
@@ -97,6 +114,11 @@ class MemoryParams:
             raise ConfigError("WPQ must have at least one entry")
         if self.pm_latency_multiplier <= 0:
             raise ConfigError("pm_latency_multiplier must be positive")
+        if self.mshrs_per_cache < 0:
+            raise ConfigError(
+                "mshrs_per_cache must be >= 0 (0 selects the legacy "
+                "blocking hierarchy)"
+            )
 
     @property
     def num_channels(self) -> int:
@@ -271,6 +293,7 @@ AXIS_ALIASES: Dict[str, str] = {
     "bloom_bits": "asap.bloom_filter_bits",
     "cores": "system.num_cores",
     "threads": "workload.num_threads",
+    "mshrs": "memory.mshrs_per_cache",
 }
 
 

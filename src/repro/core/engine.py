@@ -20,6 +20,12 @@ when the instruction may retire, so structural stalls (full CL List, full
 Dep slots, full LH-WPQ, WPQ backpressure) naturally extend instruction
 latency exactly where the paper says they do - and *only* there, because
 commits are asynchronous.
+
+With the non-blocking hierarchy (docs/MEMORY.md), ``done`` callbacks may
+fire out of issue order *across cores*: core 0's early miss can complete
+after core 1's later hit, and MSHR merges complete whole waiter lists in
+one cycle. The engine is agnostic - each thread's own ops still retire
+in program order, and nothing here assumes cross-core completion order.
 """
 
 from __future__ import annotations

@@ -12,6 +12,7 @@ from repro.harness.experiments import (
     fig9a,
     fig9b,
     fig10,
+    fig10_overlap,
     lhwpq,
     numa,
 )
@@ -25,6 +26,7 @@ REGISTRY = {
     "fig9a": fig9a.run,
     "fig9b": fig9b.run,
     "fig10": fig10.run,
+    "fig10_overlap": fig10_overlap.run,
     "lhwpq": lhwpq.run,
     "area": area.run,
     "ablations": ablations.run,

@@ -77,6 +77,11 @@ class FuzzCase:
     #: sensitive to; corpus replay sweeps these in addition to the
     #: generic evenly-spaced crash points
     crash_fracs: List[float] = field(default_factory=list)
+    #: pin the hierarchy's MSHR count (None = the config default). 1
+    #: replays the blocking one-outstanding-fetch hierarchy; corpus
+    #: entries exercising crashes with misses in flight pin small values
+    #: so exhaustion stalls and merges stay live under replay
+    mshrs_per_cache: Optional[int] = None
 
     # -- serialisation (the corpus format) ---------------------------------
 
@@ -89,6 +94,7 @@ class FuzzCase:
             "fifo_backpressure": self.fifo_backpressure,
             "ordered_line_log_persists": self.ordered_line_log_persists,
             "crash_fracs": self.crash_fracs,
+            "mshrs_per_cache": self.mshrs_per_cache,
         }
 
     @staticmethod
@@ -104,6 +110,7 @@ class FuzzCase:
             fifo_backpressure=data.get("fifo_backpressure", True),
             ordered_line_log_persists=data.get("ordered_line_log_persists", True),
             crash_fracs=[float(f) for f in data.get("crash_fracs", [])],
+            mshrs_per_cache=data.get("mshrs_per_cache"),
         )
 
     # -- shrinking helpers -------------------------------------------------
@@ -192,6 +199,13 @@ def build_machine(case: FuzzCase) -> Machine:
         config = dc_replace(
             config,
             memory=dc_replace(config.memory, wpq_fifo_backpressure=False),
+        )
+    if case.mshrs_per_cache is not None:
+        config = dc_replace(
+            config,
+            memory=dc_replace(
+                config.memory, mshrs_per_cache=case.mshrs_per_cache
+            ),
         )
     m = Machine(config, make_scheme(case.scheme))
     install_case(m, case)
@@ -507,6 +521,7 @@ def run_fuzz(
     shrink: bool = True,
     fifo_backpressure: bool = True,
     ordered_line_log_persists: bool = True,
+    mshrs_per_cache: Optional[int] = None,
     corpus: Optional[List[FuzzCase]] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> FuzzReport:
@@ -538,6 +553,8 @@ def run_fuzz(
             case = dc_replace(case, fifo_backpressure=False)
         if not ordered_line_log_persists:
             case = dc_replace(case, ordered_line_log_persists=False)
+        if mshrs_per_cache is not None:
+            case = dc_replace(case, mshrs_per_cache=mshrs_per_cache)
         index += 1
         report.cases += 1
         report.schemes.append(scheme)
@@ -747,6 +764,15 @@ def main(argv=None) -> int:
         "(typically tests/property/corpus)",
     )
     parser.add_argument(
+        "--mshrs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pin MemoryParams.mshrs_per_cache for every case (1 = the "
+        "blocking one-outstanding-fetch hierarchy; default = config "
+        "default). Used by CI to replay the corpus under both models",
+    )
+    parser.add_argument(
         "--from-races",
         action="store_true",
         help="directed mode: race-detect each --corpus case in one "
@@ -770,6 +796,8 @@ def main(argv=None) -> int:
                 case = dc_replace(case, fifo_backpressure=False)
             if args.legacy_line_order:
                 case = dc_replace(case, ordered_line_log_persists=False)
+            if args.mshrs is not None:
+                case = dc_replace(case, mshrs_per_cache=args.mshrs)
             if args.scheme != "both" and case.scheme != args.scheme:
                 continue
             cases.append((os.path.basename(path), case))
@@ -791,13 +819,15 @@ def main(argv=None) -> int:
 
         for path in sorted(glob.glob(os.path.join(args.corpus, "*.json"))):
             case, _meta = load_corpus_entry(path)
-            # corpus entries may pin a legacy model; fuzz the current one
+            # corpus entries may pin a legacy model or an MSHR stress
+            # count; fuzz the current model (--mshrs re-pins uniformly)
             corpus_cases.append(
                 dc_replace(
                     case,
                     fifo_backpressure=True,
                     ordered_line_log_persists=True,
                     crash_fracs=[],
+                    mshrs_per_cache=None,
                 )
             )
 
@@ -810,6 +840,7 @@ def main(argv=None) -> int:
         shrink=not args.no_shrink,
         fifo_backpressure=not args.legacy_backpressure,
         ordered_line_log_persists=not args.legacy_line_order,
+        mshrs_per_cache=args.mshrs,
         corpus=corpus_cases,
         progress=lambda msg: print(f"  {msg}", file=sys.stderr, flush=True),
     )

@@ -67,6 +67,17 @@ class CacheArray:
         """Presence check with no statistics or recency side effects."""
         return line in self._set_of(line)
 
+    def touch(self, line: int) -> None:
+        """Bump ``line``'s recency without hit/miss accounting.
+
+        Used when an access re-probes after a structural stall (MSHR
+        exhaustion): the logical access was already classified and
+        counted, so the replay must not count again.
+        """
+        s = self._set_of(line)
+        if line in s:
+            s.move_to_end(line)
+
     def insert(self, line: int) -> Optional[int]:
         """Insert ``line``; returns the evicted victim line, if any.
 
@@ -112,3 +123,83 @@ class CacheArray:
 
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)
+
+
+class MSHREntry:
+    """Book-keeping for one outstanding miss (one line being fetched)."""
+
+    __slots__ = ("line", "waiters")
+
+    def __init__(self, line: int):
+        self.line = line
+        #: ``(core_id, done)`` completions replayed in arrival order when
+        #: the fill lands - populated only on the fetch-owning LLC entry.
+        self.waiters: list = []
+
+
+class MSHRFile:
+    """Miss Status Holding Registers of one cache array.
+
+    The registers are what make the hierarchy non-blocking: a primary
+    miss allocates one and starts the (single) memory fetch, secondary
+    misses for the same line merge into it, and the fill releases it.
+    The file raises on oversubscription - callers must check :attr:`full`
+    first and treat a full file as a structural stall (the hierarchy
+    parks the requesting core until a fill frees a register).
+    """
+
+    def __init__(self, name: str, capacity: int):
+        if capacity <= 0:
+            raise SimulationError(
+                f"{name}: MSHR file needs at least one register"
+            )
+        self.name = name
+        self.capacity = capacity
+        self.entries: "OrderedDict[int, MSHREntry]" = OrderedDict()
+        self.allocations = 0
+        self.merges = 0
+        self.peak = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    def get(self, line: int) -> Optional[MSHREntry]:
+        return self.entries.get(line)
+
+    def allocate(self, line: int) -> MSHREntry:
+        """Track a new outstanding miss for ``line``.
+
+        Raises:
+            SimulationError: the file is full (callers must stall instead)
+                or the line already has an entry (merge instead).
+        """
+        if line in self.entries:
+            raise SimulationError(
+                f"{self.name}: line {line:#x} already has an MSHR"
+            )
+        if self.full:
+            raise SimulationError(
+                f"{self.name}: all {self.capacity} registers busy"
+            )
+        entry = MSHREntry(line)
+        self.entries[line] = entry
+        self.allocations += 1
+        if len(self.entries) > self.peak:
+            self.peak = len(self.entries)
+        return entry
+
+    def ensure(self, line: int) -> MSHREntry:
+        """Return ``line``'s entry, merging if tracked, allocating if not."""
+        entry = self.entries.get(line)
+        if entry is not None:
+            self.merges += 1
+            return entry
+        return self.allocate(line)
+
+    def free(self, line: int) -> Optional[MSHREntry]:
+        """Release the register when the fill completes."""
+        return self.entries.pop(line, None)

@@ -18,7 +18,15 @@ from repro.common.params import SystemConfig
 from repro.engine import Scheduler
 from repro.mem.image import MemoryImage
 from repro.mem.timing import TimingModel
-from repro.mem.wpq import DPO, LOGHDR, LPO, WB, PersistOp, WritePendingQueue
+from repro.mem.wpq import (
+    DPO,
+    LOGHDR,
+    LPO,
+    WB,
+    DrainArbiter,
+    PersistOp,
+    WritePendingQueue,
+)
 
 
 @dataclass
@@ -50,6 +58,7 @@ class Channel:
         wpq_entries: int,
         apply_payloads: bool = True,
         indexed: bool = False,
+        drain_gate: Optional[DrainArbiter] = None,
     ):
         self.index = index
         self.stats = TrafficStats()
@@ -65,6 +74,7 @@ class Channel:
             fifo_backpressure=timing.mem.wpq_fifo_backpressure,
             apply_payloads=apply_payloads,
             indexed=indexed,
+            drain_gate=drain_gate,
         )
 
     def _count_drain(self, op: PersistOp) -> None:
@@ -86,6 +96,11 @@ class MemorySystem:
         self.timing = TimingModel(config)
         self.address_space: AddressSpace = config.address_space
         self.pm_image = pm_image
+        #: one shared write-bus token in the legacy serialized-drain model;
+        #: None (the default) lets every channel drain concurrently
+        self.drain_arbiter: Optional[DrainArbiter] = (
+            None if config.memory.overlapped_drains else DrainArbiter()
+        )
         self.channels: List[Channel] = [
             Channel(
                 i,
@@ -95,6 +110,7 @@ class MemorySystem:
                 config.memory.wpq_entries,
                 apply_payloads=not fast,
                 indexed=fast,
+                drain_gate=self.drain_arbiter,
             )
             for i in range(config.memory.num_channels)
         ]

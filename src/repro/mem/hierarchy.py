@@ -24,8 +24,8 @@ from repro.common.address import line_base
 from repro.common.errors import SimulationError
 from repro.common.observe import SimObserver
 from repro.common.params import SystemConfig
-from repro.engine import Scheduler
-from repro.mem.cache import CacheArray
+from repro.engine import Scheduler, WaitQueue
+from repro.mem.cache import CacheArray, MSHRFile
 from repro.mem.controller import MemorySystem
 from repro.mem.image import MemoryImage, snapshot_line
 from repro.mem.tagstore import LineMeta, TagStore
@@ -33,6 +33,10 @@ from repro.mem.wpq import WB, PersistOp
 
 #: cycles between retries when every way of a set is LPO-locked
 _LOCKED_SET_RETRY = 16
+
+#: fill depth of a classified access: how far down the hierarchy the probe
+#: went before hitting (every level above the hit level is filled).
+_L1, _L2, _LLC, _MEM = 0, 1, 2, 3
 
 #: evict_hook(meta, wb_op): wb_op is the eviction writeback persist op when
 #: the line was dirty (the hook may attach completion callbacks to it before
@@ -75,6 +79,30 @@ class CacheHierarchy:
         ]
         self.llc = CacheArray("LLC", config.l3, locked)
 
+        # Non-blocking mode (mshrs_per_cache > 0): per-array MSHR files.
+        # The LLC file owns the outstanding fetches (one per line, with
+        # the merged waiters); private-level files model each core's
+        # bounded outstanding-miss tracking. mshrs_per_cache == 0 keeps
+        # the legacy model: lines are installed immediately at access
+        # time and only the completion callback is delayed.
+        mshrs = config.memory.mshrs_per_cache
+        if mshrs > 0:
+            self.l1_mshrs: Optional[List[MSHRFile]] = [
+                MSHRFile(f"MSHR-L1[{i}]", mshrs)
+                for i in range(config.num_cores)
+            ]
+            self.l2_mshrs: Optional[List[MSHRFile]] = [
+                MSHRFile(f"MSHR-L2[{i}]", mshrs)
+                for i in range(config.num_cores)
+            ]
+            self.llc_mshrs: Optional[MSHRFile] = MSHRFile("MSHR-LLC", mshrs)
+            self._mshr_free_waiters: Optional[WaitQueue] = WaitQueue(scheduler)
+        else:
+            self.l1_mshrs = None
+            self.l2_mshrs = None
+            self.llc_mshrs = None
+            self._mshr_free_waiters = None
+
         #: fast path only: line -> set of private-level CacheArrays holding
         #: it, so an LLC eviction invalidates just those instead of probing
         #: all 2 x num_cores arrays. Invalidations on distinct arrays
@@ -106,6 +134,12 @@ class CacheHierarchy:
         self.accesses = 0
         self.llc_misses = 0
         self.locked_set_stalls = 0
+        #: secondary misses that merged into an in-flight fetch (one fetch
+        #: answers them all, so they are *not* counted in ``llc_misses``)
+        self.mshr_merges = 0
+        #: structural stalls: a primary miss found every needed MSHR file
+        #: full and parked until a fill freed a register (re-parks count)
+        self.mshr_stalls = 0
 
     # -- lock predicate ------------------------------------------------------
 
@@ -122,29 +156,56 @@ class CacheHierarchy:
         is_write: bool,
         done: Callable[[LineMeta], None],
     ) -> None:
-        """Perform a load/store; ``done(meta)`` fires after the hit latency.
+        """Perform a load/store.
 
-        Functional presence state is updated immediately (the simulator is
-        sequentially consistent at op granularity); only the completion
-        callback is delayed.
+        On a hit (and in the legacy ``mshrs_per_cache == 0`` model, on any
+        access) functional presence state is updated immediately and only
+        ``done(meta)`` is delayed by the access latency. In the
+        non-blocking model an LLC miss instead allocates an MSHR, the line
+        is installed when the memory fill lands, and every requester that
+        merged into the fetch completes at that point.
+
+        The logical access is classified and counted exactly once here;
+        structural stalls (locked sets, MSHR exhaustion) retry internally
+        without re-counting. The pre-fix model re-entered ``access`` on a
+        locked-set stall and inflated ``accesses`` plus the per-level
+        hit/miss counters once per retry.
         """
         line = line_base(addr)
         self.accesses += 1
-        try:
-            latency, meta = self._lookup_and_fill(core_id, line)
-        except SimulationError:
-            # Every way of some set is LPO-locked; retry shortly - the lock
-            # clears as soon as the in-flight LPO is accepted by the WPQ.
-            self.locked_set_stalls += 1
-            self.scheduler.after(
-                _LOCKED_SET_RETRY,
-                lambda: self.access(core_id, addr, is_write, done),
-            )
+        pbit = self.is_persistent(line)
+        if self.l1[core_id].lookup(line):
+            meta = self.tags.ensure(line, pbit)
+            if is_write:
+                meta.dirty = True
+                meta.version += 1
+            self.scheduler.after(self.timing.l1_latency(), lambda: done(meta))
             return
+        if self.l2[core_id].lookup(line):
+            level, latency = _L2, self.timing.l2_latency()
+        elif self.llc.lookup(line):
+            level, latency = _LLC, self.timing.llc_latency()
+        elif self.llc_mshrs is not None:
+            self._miss_to_memory(core_id, line, pbit, is_write, done)
+            return
+        else:
+            level, latency = _MEM, 0
+        meta = self.tags.ensure(line, pbit)
+        if level == _MEM:
+            # Legacy immediate-fill fetch (mshrs_per_cache == 0).
+            self.llc_misses += 1
+            latency = self.timing.memory_read_latency(pbit)
+            if pbit:
+                self.memory.count_pm_read(line)
+            if pbit and self.reload_hook is not None:
+                owner, extra = self.reload_hook(line)
+                latency += extra
+                if owner is not None:
+                    meta.owner_rid = owner
         if is_write:
             meta.dirty = True
             meta.version += 1
-        self.scheduler.after(latency, lambda: done(meta))
+        self._fill_and_finish(level, core_id, line, latency, meta, done)
 
     def _access_fast(
         self,
@@ -162,76 +223,137 @@ class CacheHierarchy:
         if line in s1:
             s1.move_to_end(line)
             l1.hits += 1
-            latency = self._lat_l1
             meta = self.tags.ensure(line, self.is_persistent(line))
-        else:
-            l1.misses += 1
-            latency, meta = self._miss_fast(core_id, line, l1)
-            if meta is None:
-                # Every way of some set is LPO-locked; retry shortly.
-                self.locked_set_stalls += 1
-                self.scheduler.after(
-                    _LOCKED_SET_RETRY,
-                    lambda: self._access_fast(core_id, addr, is_write, done),
-                )
-                return
-        if is_write:
-            meta.dirty = True
-            meta.version += 1
-        self.scheduler.after(latency, lambda: done(meta))
+            if is_write:
+                meta.dirty = True
+                meta.version += 1
+            self.scheduler.after(self._lat_l1, lambda: done(meta))
+            return
+        l1.misses += 1
+        self._miss_fast(core_id, line, is_write, done)
 
-    def _miss_fast(self, core_id: int, line: int, l1: CacheArray):
-        """L1-missed remainder of the fast lookup; returns (None, None) on
-        a locked-set structural stall (mirrors the reference's exception
-        path, with stats counted at exactly the same points)."""
+    def _miss_fast(
+        self,
+        core_id: int,
+        line: int,
+        is_write: bool,
+        done: Callable[[LineMeta], None],
+    ) -> None:
+        """L1-missed remainder of the fast lookup: inlined L2/LLC probes
+        with precomputed latencies, then the shared miss/fill machinery
+        (statistics counted at exactly the reference path's points)."""
         pbit = self.is_persistent(line)
         l2 = self.l2[core_id]
-        try:
-            s2 = l2._sets[(line >> 6) % l2._num_sets]
-            if line in s2:
-                s2.move_to_end(line)
-                l2.hits += 1
-                self._fill(l1, line)
-                return self._lat_l2, self.tags.ensure(line, pbit)
+        s2 = l2._sets[(line >> 6) % l2._num_sets]
+        if line in s2:
+            s2.move_to_end(line)
+            l2.hits += 1
+            level, latency = _L2, self._lat_l2
+        else:
             l2.misses += 1
             llc = self.llc
             s3 = llc._sets[(line >> 6) % llc._num_sets]
             if line in s3:
                 s3.move_to_end(line)
                 llc.hits += 1
-                self._fill(l2, line)
-                self._fill(l1, line)
-                return self._lat_llc, self.tags.ensure(line, pbit)
-            llc.misses += 1
+                level, latency = _LLC, self._lat_llc
+            elif self.llc_mshrs is not None:
+                llc.misses += 1
+                self._miss_to_memory(core_id, line, pbit, is_write, done)
+                return
+            else:
+                llc.misses += 1
+                level, latency = _MEM, 0
+        meta = self.tags.ensure(line, pbit)
+        if level == _MEM:
             self.llc_misses += 1
             latency = self._lat_mem[pbit]
             if pbit:
                 self.memory.count_pm_read(line)
-            meta = self.tags.ensure(line, pbit)
             if pbit and self.reload_hook is not None:
                 owner, extra = self.reload_hook(line)
                 latency += extra
                 if owner is not None:
                     meta.owner_rid = owner
-            self._fill_llc(line)
-            self._fill(l2, line)
-            self._fill(l1, line)
-            return latency, meta
-        except SimulationError:
-            return None, None
+        if is_write:
+            meta.dirty = True
+            meta.version += 1
+        self._fill_and_finish(level, core_id, line, latency, meta, done)
 
-    def _lookup_and_fill(self, core_id: int, line: int):
-        pbit = self.is_persistent(line)
-        if self.l1[core_id].lookup(line):
-            return self.timing.l1_latency(), self.tags.ensure(line, pbit)
-        if self.l2[core_id].lookup(line):
-            self._fill(self.l1[core_id], line)
-            return self.timing.l2_latency(), self.tags.ensure(line, pbit)
-        if self.llc.lookup(line):
-            self._fill(self.l2[core_id], line)
-            self._fill(self.l1[core_id], line)
-            return self.timing.llc_latency(), self.tags.ensure(line, pbit)
-        # LLC miss: fetch from memory.
+    def _fill_and_finish(
+        self,
+        level: int,
+        core_id: int,
+        line: int,
+        latency: int,
+        meta: LineMeta,
+        done: Callable[[LineMeta], None],
+    ) -> None:
+        """Install ``line`` at every level it missed in, then schedule the
+        completion. The access was already classified and counted, and
+        fills are the only step a fully LPO-locked set can stall - so only
+        the fills retry (inserts are idempotent), never the accounting."""
+        try:
+            if level == _MEM:
+                self._fill_llc(line)
+            if level >= _LLC:
+                self._fill(self.l2[core_id], line)
+            if level >= _L2:
+                self._fill(self.l1[core_id], line)
+        except SimulationError:
+            # Every way of some set is LPO-locked; retry shortly - the lock
+            # clears as soon as the in-flight LPO is accepted by the WPQ.
+            self.locked_set_stalls += 1
+            self.scheduler.after(
+                _LOCKED_SET_RETRY,
+                lambda: self._fill_and_finish(
+                    level, core_id, line, latency, meta, done
+                ),
+            )
+            return
+        self.scheduler.after(latency, lambda: done(meta))
+
+    # -- non-blocking misses (MSHRs) -------------------------------------------
+
+    def _miss_to_memory(
+        self,
+        core_id: int,
+        line: int,
+        pbit: bool,
+        is_write: bool,
+        done: Callable[[LineMeta], None],
+    ) -> None:
+        """LLC miss in the non-blocking hierarchy (``mshrs_per_cache > 0``).
+
+        Primary miss: allocate an MSHR at every missed level and start the
+        memory fetch. Secondary miss: merge - the one in-flight fetch
+        answers every requester, so no second ``llc_misses`` count, PM
+        read, or reload-hook consultation. No free register: the
+        requesting core parks until a fill completes.
+        """
+        fetch = self.llc_mshrs.get(line)
+        l1m = self.l1_mshrs[core_id]
+        l2m = self.l2_mshrs[core_id]
+        if fetch is not None:
+            if (l1m.get(line) is None and l1m.full) or (
+                l2m.get(line) is None and l2m.full
+            ):
+                self._stall_on_mshrs(core_id, line, is_write, done)
+                return
+            meta = self.tags.ensure(line, pbit)
+            if is_write:
+                meta.dirty = True
+                meta.version += 1
+            self.mshr_merges += 1
+            l1m.ensure(line)
+            l2m.ensure(line)
+            fetch.waiters.append((core_id, done))
+            if self.observer is not None:
+                self.observer.mshr_merged(self, line, core_id)
+            return
+        if self.llc_mshrs.full or l1m.full or l2m.full:
+            self._stall_on_mshrs(core_id, line, is_write, done)
+            return
         self.llc_misses += 1
         latency = self.timing.memory_read_latency(pbit)
         if pbit:
@@ -242,10 +364,92 @@ class CacheHierarchy:
             latency += extra
             if owner is not None:
                 meta.owner_rid = owner
-        self._fill_llc(line)
-        self._fill(self.l2[core_id], line)
-        self._fill(self.l1[core_id], line)
-        return latency, meta
+        if is_write:
+            meta.dirty = True
+            meta.version += 1
+        fetch = self.llc_mshrs.allocate(line)
+        l1m.allocate(line)
+        l2m.allocate(line)
+        fetch.waiters.append((core_id, done))
+        if self.observer is not None:
+            self.observer.mshr_allocated(self, line, core_id)
+        self.scheduler.after(latency, lambda: self._complete_fill(line, meta))
+
+    def _stall_on_mshrs(
+        self,
+        core_id: int,
+        line: int,
+        is_write: bool,
+        done: Callable[[LineMeta], None],
+    ) -> None:
+        self.mshr_stalls += 1
+        if self.observer is not None:
+            self.observer.mshr_stalled(self, line, core_id)
+        self._mshr_free_waiters.park(
+            lambda: self._mshr_retry(core_id, line, is_write, done)
+        )
+
+    def _mshr_retry(
+        self,
+        core_id: int,
+        line: int,
+        is_write: bool,
+        done: Callable[[LineMeta], None],
+    ) -> None:
+        """Woken after a fill freed registers. The world may have moved on
+        while the access was parked: the line may have landed (late hit),
+        still be in flight (merge), or need a fresh fetch. Re-probe
+        silently - the access was classified and counted when it first
+        entered the hierarchy."""
+        pbit = self.is_persistent(line)
+        if self.l1[core_id].contains(line):
+            self.l1[core_id].touch(line)
+            level, latency = _L1, self.timing.l1_latency()
+        elif self.l2[core_id].contains(line):
+            self.l2[core_id].touch(line)
+            level, latency = _L2, self.timing.l2_latency()
+        elif self.llc.contains(line):
+            self.llc.touch(line)
+            level, latency = _LLC, self.timing.llc_latency()
+        else:
+            self._miss_to_memory(core_id, line, pbit, is_write, done)
+            return
+        meta = self.tags.ensure(line, pbit)
+        if is_write:
+            meta.dirty = True
+            meta.version += 1
+        self._fill_and_finish(level, core_id, line, latency, meta, done)
+
+    def _complete_fill(self, line: int, meta: LineMeta) -> None:
+        """The memory fetch for ``line`` arrived: install the line at the
+        LLC and in every waiter's private levels, release the MSHRs, and
+        replay the queued completions in arrival order. A fully LPO-locked
+        set retries the whole installation (inserts are idempotent),
+        exactly like the synchronous fill path."""
+        fetch = self.llc_mshrs.get(line)
+        try:
+            self._fill_llc(line)
+            for core_id, _done in fetch.waiters:
+                self._fill(self.l2[core_id], line)
+                self._fill(self.l1[core_id], line)
+        except SimulationError:
+            self.locked_set_stalls += 1
+            self.scheduler.after(
+                _LOCKED_SET_RETRY, lambda: self._complete_fill(line, meta)
+            )
+            return
+        self.llc_mshrs.free(line)
+        for core_id, _done in fetch.waiters:
+            self.l1_mshrs[core_id].free(line)
+            self.l2_mshrs[core_id].free(line)
+        if self.observer is not None:
+            self.observer.mshr_filled(self, line, len(fetch.waiters))
+        for _core_id, waiter_done in fetch.waiters:
+            waiter_done(meta)
+        # Exactly one LLC register was freed; give it to the oldest
+        # parked miss (it re-probes and may re-park if its private file
+        # is still busy with a different in-flight line).
+        self._mshr_free_waiters.wake_one()
 
     # -- fills and evictions ---------------------------------------------------
 

@@ -57,7 +57,13 @@ class TimingModel:
         return self._llc
 
     def memory_read_latency(self, is_pm: bool) -> int:
-        """LLC-miss service latency from DRAM or PM."""
+        """LLC-miss service latency from DRAM or PM.
+
+        With the non-blocking hierarchy this is also the MSHR occupancy
+        of one fetch: the allocate-to-fill window. The fetch is charged
+        exactly once per primary miss; requesters that merge into it
+        wait only for the remainder of the window (docs/MEMORY.md).
+        """
         return self._mem_read[is_pm]
 
     # -- persist path ------------------------------------------------------

@@ -100,6 +100,40 @@ class PersistOp:
         return self.payload
 
 
+class DrainArbiter:
+    """A single write-bus token shared by every channel's WPQ.
+
+    The legacy lockstep-drain model (``MemoryParams.overlapped_drains =
+    False``): only the token holder may service a write, so channels
+    drain one at a time instead of concurrently. Grants are strictly
+    FIFO; releasing hands the token to the oldest waiting channel in the
+    same cycle. The default overlapped model simply never builds one.
+    """
+
+    def __init__(self):
+        self._held = False
+        self._queue: Deque[Callable[[], None]] = deque()
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    def acquire(self, grant: Callable[[], None]) -> None:
+        """Call ``grant`` as soon as the token is free (now, if it is)."""
+        if self._held:
+            self._queue.append(grant)
+        else:
+            self._held = True
+            grant()
+
+    def release(self) -> None:
+        """Free the token or hand it straight to the oldest waiter."""
+        if self._queue:
+            self._queue.popleft()()
+        else:
+            self._held = False
+
+
 class WritePendingQueue:
     """Finite FIFO of :class:`PersistOp` with a self-paced drain loop."""
 
@@ -116,6 +150,7 @@ class WritePendingQueue:
         fifo_backpressure: bool = True,
         apply_payloads: bool = True,
         indexed: bool = False,
+        drain_gate: Optional[DrainArbiter] = None,
     ):
         """
         Args:
@@ -143,6 +178,12 @@ class WritePendingQueue:
                 queue. Fast-path only: the reference machine keeps the
                 plain predicate scan so its behaviour (and its cost, the
                 benchmark's denominator) is untouched.
+            drain_gate: shared :class:`DrainArbiter` serializing write
+                service across channels (legacy lockstep model). The
+                drain loop then splits each interval into the lazy slack
+                followed by a bus-held ``write_service()`` window, so an
+                uncontended gated channel drains at exactly the ungated
+                cadence while contended channels queue for the token.
         """
         if capacity <= 0:
             raise SimulationError("WPQ capacity must be positive")
@@ -177,6 +218,9 @@ class WritePendingQueue:
         self._backpressure = WaitQueue(scheduler)
         self._draining = False
         self._drain_event = None
+        self._drain_gate = drain_gate
+        #: gated-drain phase: None | "slack" | "waiting" | "holding"
+        self._gate_stage: Optional[str] = None
         #: optional :class:`SimObserver` notified on accept/drain/drop
         self.observer: Optional[SimObserver] = None
         # statistics
@@ -269,11 +313,19 @@ class WritePendingQueue:
             # nearly-elapsed lazy interval at write_service() would *delay*
             # the drain, not expedite it.
             if self._draining and self._drain_event is not None:
-                remaining = self._drain_event.time - self._scheduler.now
-                self._drain_event.cancel()
-                self._drain_event = self._scheduler.after(
-                    min(remaining, self._write_service()), self._drain_one
-                )
+                if self._drain_gate is None:
+                    remaining = self._drain_event.time - self._scheduler.now
+                    self._drain_event.cancel()
+                    self._drain_event = self._scheduler.after(
+                        min(remaining, self._write_service()), self._drain_one
+                    )
+                elif self._gate_stage == "slack":
+                    # Gated: skip the rest of the lazy slack and contend
+                    # for the bus now. "waiting"/"holding" are already as
+                    # fast as the token allows.
+                    self._drain_event.cancel()
+                    self._drain_event = None
+                    self._gate_request()
         self.accepted += 1
         occupancy = len(self._entries)
         if occupancy > self.peak_occupancy:
@@ -284,10 +336,13 @@ class WritePendingQueue:
             cb, op.on_complete = op.on_complete, None
             cb(op)
         if not self._draining and self._entries:  # _ensure_draining, inline
-            self._draining = True
-            self._drain_event = self._scheduler.after(
-                self._drain_interval(), self._drain_one
-            )
+            if self._drain_gate is None:
+                self._draining = True
+                self._drain_event = self._scheduler.after(
+                    self._drain_interval(), self._drain_one
+                )
+            else:
+                self._ensure_draining_gated()
 
     # -- drain loop --------------------------------------------------------
 
@@ -301,10 +356,39 @@ class WritePendingQueue:
 
     def _ensure_draining(self) -> None:
         if not self._draining and self._entries:
-            self._draining = True
-            self._drain_event = self._scheduler.after(
-                self._drain_interval(), self._drain_one
-            )
+            if self._drain_gate is None:
+                self._draining = True
+                self._drain_event = self._scheduler.after(
+                    self._drain_interval(), self._drain_one
+                )
+            else:
+                self._ensure_draining_gated()
+
+    # -- gated drain (legacy serialized write bus) -------------------------
+
+    def _ensure_draining_gated(self) -> None:
+        """Start one gated drain cycle: lazy slack first, then contend for
+        the write-bus token, then hold it for one service window."""
+        self._draining = True
+        self._gate_stage = "slack"
+        slack = self._drain_interval() - self._write_service()
+        self._drain_event = self._scheduler.after(slack, self._gate_request)
+
+    def _gate_request(self) -> None:
+        self._drain_event = None
+        self._gate_stage = "waiting"
+        self._drain_gate.acquire(self._gate_granted)
+
+    def _gate_granted(self) -> None:
+        self._gate_stage = "holding"
+        self._drain_event = self._scheduler.after(
+            self._write_service(), self._gate_drain
+        )
+
+    def _gate_drain(self) -> None:
+        self._gate_stage = None
+        self._drain_one()
+        self._drain_gate.release()
 
     def _drain_one(self) -> None:
         self._draining = False
@@ -331,10 +415,13 @@ class WritePendingQueue:
             # Only the legacy backpressure mode parks waiters here.
             self._backpressure.wake_one()
         if not self._draining and self._entries:  # _ensure_draining, inline
-            self._draining = True
-            self._drain_event = self._scheduler.after(
-                self._drain_interval(), self._drain_one
-            )
+            if self._drain_gate is None:
+                self._draining = True
+                self._drain_event = self._scheduler.after(
+                    self._drain_interval(), self._drain_one
+                )
+            else:
+                self._ensure_draining_gated()
 
     # -- dropping ----------------------------------------------------------
 

@@ -36,6 +36,10 @@ class RunResult:
     dram_writes: int
     llc_misses: int
     cache_accesses: int
+    #: secondary misses merged into an in-flight MSHR fetch (0 under the
+    #: legacy ``mshrs_per_cache == 0`` hierarchy, which has no fetches to
+    #: merge into)
+    mshr_merges: int
     wpq_peak_occupancy: int
     #: structural-stall counters (which capacity limits were hit and how
     #: often); keys depend on the scheme - ASAP reports its CL List,
@@ -51,7 +55,10 @@ class RunResult:
         finish_cycles = [
             e.finish_cycle for e in machine.executors if e.finish_cycle is not None
         ]
-        stalls = {"locked_set": machine.hierarchy.locked_set_stalls}
+        stalls = {
+            "locked_set": machine.hierarchy.locked_set_stalls,
+            "mshr": machine.hierarchy.mshr_stalls,
+        }
         engine = getattr(machine.scheme, "engine", None)
         if engine is not None:
             stalls.update(
@@ -74,6 +81,7 @@ class RunResult:
             dram_writes=sum(ch.stats.dram_writes for ch in machine.memory.channels),
             llc_misses=machine.hierarchy.llc_misses,
             cache_accesses=machine.hierarchy.accesses,
+            mshr_merges=machine.hierarchy.mshr_merges,
             wpq_peak_occupancy=max(
                 (ch.wpq.peak_occupancy for ch in machine.memory.channels), default=0
             ),

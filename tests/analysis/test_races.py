@@ -142,6 +142,30 @@ def test_corpus_cases_clean_under_default_config(path):
     assert result.nodes > 0, "tracer saw no persist ops - attach regressed?"
 
 
+def test_tracer_records_miss_windows():
+    # The MSHR hooks feed the tracer allocate-to-fill windows - evidence
+    # of the recovered memory-level parallelism (docs/MEMORY.md) and the
+    # tool the miss-in-flight corpus entry used to pin its crash_fracs.
+    from repro.analysis.races import RaceTracer
+    from repro.harness.fuzz import build_machine
+
+    case, _meta = load_corpus_entry(
+        os.path.join(CORPUS_DIR, "undo-miss-in-flight-mshr1.json")
+    )
+    machine = build_machine(case)
+    tracer = RaceTracer()
+    tracer.attach(machine)
+    total = machine.run().cycles
+    assert tracer.miss_windows, "no MSHR fetch windows recorded"
+    for line, start, end, waiters in tracer.miss_windows:
+        assert 0 <= start < end <= total
+        assert waiters >= 1
+    # the pinned crash fractions land strictly inside fetch windows
+    for frac in case.crash_fracs:
+        cycle = max(1, int(total * frac))
+        assert any(s < cycle < e for _l, s, e, _w in tracer.miss_windows), frac
+
+
 @pytest.mark.parametrize("workload", workload_names())
 @pytest.mark.parametrize("scheme", ["asap", "asap_redo"])
 def test_workloads_clean_under_default_config(workload, scheme):

@@ -187,6 +187,50 @@ def test_lpo_accepted_after_log_free_fires_S004():
     assert v.rule_id == "ASAP-S004"
 
 
+class FakeHierarchy:
+    def __init__(self, mshrs=None):
+        self.llc_mshrs = mshrs
+
+
+def test_duplicate_fetch_fires_S005():
+    san = collecting()
+    h = FakeHierarchy(FakeSized(1, 16, name="MSHR-LLC"))
+    san.mshr_allocated(h, PM_LINE, 0)
+    assert san.ok
+    san.mshr_allocated(h, PM_LINE, 1)  # second fetch must merge instead
+    (v,) = san.violations
+    assert v.rule_id == "ASAP-S005"
+
+
+def test_merge_without_inflight_fetch_fires_S005():
+    san = collecting()
+    san.mshr_merged(FakeHierarchy(), PM_LINE, 0)
+    (v,) = san.violations
+    assert v.rule_id == "ASAP-S005"
+
+
+def test_fill_lifecycle_is_clean_and_zero_waiter_fill_fires_S005():
+    san = collecting()
+    h = FakeHierarchy(FakeSized(1, 16, name="MSHR-LLC"))
+    san.mshr_allocated(h, PM_LINE, 0)
+    san.mshr_merged(h, PM_LINE, 1)
+    san.mshr_stalled(h, PM_LINE + 64, 2)
+    san.mshr_filled(h, PM_LINE, waiters=2)
+    assert san.ok
+    # a line can be fetched again after its fill completed
+    san.mshr_allocated(h, PM_LINE, 0)
+    san.mshr_filled(h, PM_LINE, waiters=0)  # but never with no requester
+    (v,) = san.violations
+    assert v.rule_id == "ASAP-S005"
+
+
+def test_mshr_capacity_bypass_fires_S003():
+    san = collecting()
+    h = FakeHierarchy(FakeSized(3, 2, name="MSHR-LLC"))  # 3 entries, cap 2
+    san.mshr_allocated(h, PM_LINE, 0)
+    assert any(v.rule_id == "ASAP-S003" for v in san.violations)
+
+
 def test_raise_mode_carries_violation():
     san = Sanitizer()  # raise_on_violation defaults to True
     engine = FakeEngine()
@@ -221,6 +265,25 @@ def test_sanitize_true_attaches_fresh_raising_sanitizer():
     # A healthy run must complete without the raising sanitizer firing.
     result = small_run(True)
     assert result.cycles > 0
+
+
+@pytest.mark.parametrize("mshrs", [1, 16])
+def test_mshr_modes_run_sanitizer_clean(mshrs):
+    # The non-blocking hierarchy's live events (allocate/merge/fill/stall)
+    # must satisfy ASAP-S005 under both exhaustion-heavy (1 MSHR) and
+    # default capacities.
+    from dataclasses import replace as dc_replace
+
+    from repro.workloads import WorkloadParams
+
+    san = collecting()
+    config = default_config()
+    config = dc_replace(config, memory=dc_replace(config.memory, mshrs_per_cache=mshrs))
+    params = WorkloadParams(num_threads=2, ops_per_thread=10, setup_items=16)
+    result = run_once("HM", "asap", config, params, sanitize=san)
+    assert result.cycles > 0
+    assert san.ok
+    assert san.events_checked > 0
 
 
 def test_baseline_scheme_gets_scheme_agnostic_hooks_only():
@@ -269,4 +332,5 @@ def test_sanitize_report_shape():
         "ASAP-S002",
         "ASAP-S003",
         "ASAP-S004",
+        "ASAP-S005",
     }

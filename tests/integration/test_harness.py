@@ -99,8 +99,8 @@ def test_area_experiment():
 
 def test_registry_complete():
     assert set(REGISTRY) == {
-        "fig1", "fig7", "fig8", "fig9a", "fig9b", "fig10", "lhwpq", "area",
-        "ablations", "extension", "numa", "corun", "eadr",
+        "fig1", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig10_overlap",
+        "lhwpq", "area", "ablations", "extension", "numa", "corun", "eadr",
     }
 
 

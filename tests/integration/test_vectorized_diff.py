@@ -20,7 +20,7 @@ see docs/PERF.md.
 
 import glob
 import os
-from dataclasses import asdict
+from dataclasses import asdict, replace as dc_replace
 
 import pytest
 
@@ -76,6 +76,60 @@ def test_fast_matches_reference_quick_scale(workload, scheme):
     assert fast == ref
 
 
+def _memory_variant(config, **overrides):
+    return dc_replace(config, memory=dc_replace(config.memory, **overrides))
+
+
+@pytest.mark.parametrize("workload,scheme", [("HM", "asap"), ("SS", "asap_redo")])
+def test_fast_matches_reference_single_mshr(workload, scheme):
+    # One MSHR per file: every concurrent distinct-line miss exhausts the
+    # file, so the parked-retry and merge paths both run constantly.
+    config = _memory_variant(_config(), mshrs_per_cache=1)
+    ref, fast = _pair(workload, scheme, config, _params())
+    assert ref["stall_breakdown"]["mshr"] > 0
+    assert fast == ref
+
+
+@pytest.mark.parametrize("workload,scheme", [("HM", "asap"), ("BT", "sw")])
+def test_fast_matches_reference_legacy_blocking(workload, scheme):
+    # mshrs_per_cache=0 keeps the pre-MSHR immediate-fill model selectable;
+    # the fast core must mirror it too.
+    config = _memory_variant(_config(), mshrs_per_cache=0)
+    ref, fast = _pair(workload, scheme, config, _params())
+    assert ref["mshr_merges"] == 0
+    assert fast == ref
+
+
+@pytest.mark.parametrize("workload,scheme", [("Q", "asap"), ("HM", "asap_redo")])
+def test_fast_matches_reference_serialized_drains(workload, scheme):
+    # The legacy lockstep-drain comparator (one write-bus token across all
+    # channels) must also be bit-identical between the two cores.
+    config = _memory_variant(_config(), overlapped_drains=False)
+    ref, fast = _pair(workload, scheme, config, _params())
+    assert fast == ref
+
+
+@pytest.mark.parametrize("scheme,expect_stalls", [("asap", True), ("asap_redo", False)])
+def test_fast_matches_reference_locked_set_contention(scheme, expect_stalls):
+    # Tiny associativity plus slow PM keeps LPO LockBits set long enough
+    # that fills hit fully locked sets - the retry path whose double
+    # counting this PR fixed. Only the undo scheme locks lines (redo logs
+    # never set the LockBit), so only its cell must actually stall.
+    config = SystemConfig.small(
+        num_cores=4, wpq_entries=4, pm_latency_multiplier=16.0
+    )
+    config = dc_replace(
+        config,
+        l1=dc_replace(config.l1, size_bytes=1024, assoc=1),
+        l2=dc_replace(config.l2, size_bytes=2048, assoc=1),
+        l3=dc_replace(config.l3, size_bytes=4096, assoc=2),
+    )
+    ref, fast = _pair("HM", scheme, config, _params())
+    if expect_stalls:
+        assert ref["stall_breakdown"]["locked_set"] > 0
+    assert fast == ref
+
+
 @pytest.mark.parametrize(
     "path", CORPUS_FILES, ids=[os.path.basename(p) for p in CORPUS_FILES]
 )
@@ -91,6 +145,13 @@ def test_corpus_case_matches_reference(path):
             wpq_entries=case.wpq_entries,
             ordered_line_log_persists=case.ordered_line_log_persists,
         )
+        if case.mshrs_per_cache is not None:
+            config = dc_replace(
+                config,
+                memory=dc_replace(
+                    config.memory, mshrs_per_cache=case.mshrs_per_cache
+                ),
+            )
         machine = Machine(config, make_scheme(case.scheme), fast_path=fast)
         install_case(machine, case)
         results.append(asdict(machine.run()))

@@ -21,6 +21,7 @@ def make_result(**overrides):
         dram_writes=3,
         llc_misses=7,
         cache_accesses=1000,
+        mshr_merges=2,
         wpq_peak_occupancy=12,
     )
     base.update(overrides)
@@ -130,5 +131,7 @@ def test_stall_breakdown_reported_for_asap():
 
 
 def test_stall_breakdown_minimal_for_baselines():
+    # Baselines have no ASAP structures; only the hierarchy's own
+    # structural stalls (locked sets, MSHR exhaustion) are reported.
     res = run_once("HM", "np", default_config(True), default_params(True))
-    assert set(res.stall_breakdown) == {"locked_set"}
+    assert set(res.stall_breakdown) == {"locked_set", "mshr"}

@@ -142,6 +142,47 @@ def test_index_consistency_under_workloads(workload, scheme, seed):
     assert_indexes_match_metadata(machine.hierarchy.tags)
 
 
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    workload=st.sampled_from(workload_names()),
+    scheme=st.sampled_from(["asap", "asap_redo", "hwundo"]),
+    seed=st.integers(0, 20),
+    mshrs=st.sampled_from([0, 1, 2, 16]),
+)
+def test_cache_accounting_under_workloads(workload, scheme, seed, mshrs):
+    """Per-level hit/miss counters stay closed under merged secondary misses.
+
+    Every logical access probes exactly one L1; each L1 miss probes that
+    core's L2; each L2 miss probes the shared LLC - once, whether the LLC
+    miss turns into a primary fetch, merges into an in-flight one, or
+    parks on MSHR exhaustion. ``llc_misses`` (fetches actually sent to
+    memory) plus ``mshr_merges`` can only fall short of ``llc.misses``
+    when a parked access later finds its line resident (a late hit).
+    """
+    from dataclasses import replace as dc_replace
+
+    params = WorkloadParams(num_threads=2, ops_per_thread=8, setup_items=12, seed=seed)
+    config = SystemConfig.small()
+    config = dc_replace(config, memory=dc_replace(config.memory, mshrs_per_cache=mshrs))
+    machine = Machine(config, make_scheme(scheme))
+    get_workload(workload, params).install(machine)
+    machine.run()
+    h = machine.hierarchy
+    l1_probes = sum(c.hits + c.misses for c in h.l1)
+    l2_probes = sum(c.hits + c.misses for c in h.l2)
+    assert l1_probes == h.accesses
+    assert l2_probes == sum(c.misses for c in h.l1)
+    assert h.llc.hits + h.llc.misses == sum(c.misses for c in h.l2)
+    assert h.llc_misses + h.mshr_merges <= h.llc.misses
+    if mshrs == 0:
+        assert h.mshr_merges == 0
+        assert h.llc_misses == h.llc.misses
+
+
 # -- error hierarchy ------------------------------------------------------------
 
 

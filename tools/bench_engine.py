@@ -125,6 +125,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", default="BENCH_engine.json", metavar="FILE", help="output path"
     )
+    parser.add_argument(
+        "--allow-divergence",
+        action="store_true",
+        help="report ref/fast stat divergences but exit 0 anyway "
+        "(for bisecting; CI and make bench-json must not use this)",
+    )
     args = parser.parse_args(argv)
 
     workloads = args.workloads or list(workload_names())
@@ -140,7 +146,29 @@ def main(argv=None) -> int:
         f"time-weighted speedup {total['speedup_time_weighted']}x, "
         f"{report['divergences']} divergences"
     )
-    return 1 if report["divergences"] else 0
+    if report["divergences"]:
+        # The benchmark doubles as a differential smoke test; a divergence
+        # means the fast core is broken, so fail loudly and name the cells.
+        bad = [c for c in report["cells"] if not c["identical_stats"]]
+        print(
+            f"ERROR: fast core diverged from the reference machine in "
+            f"{len(bad)} cell(s):",
+            file=sys.stderr,
+        )
+        for cell in bad:
+            print(
+                f"  {cell['workload']}/{cell['scheme']}/"
+                f"{cell['value_bytes']}B",
+                file=sys.stderr,
+            )
+        print(
+            "  reproduce with: PYTHONPATH=src python -m pytest "
+            "tests/integration/test_vectorized_diff.py",
+            file=sys.stderr,
+        )
+        if not args.allow_divergence:
+            return 1
+    return 0
 
 
 if __name__ == "__main__":
