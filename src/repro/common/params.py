@@ -331,18 +331,34 @@ def _scalar_fields(cls, group: str, defaults) -> Dict[str, AxisTarget]:
 def sweepable_axes() -> Dict[str, AxisTarget]:
     """Canonical axis name -> :class:`AxisTarget`, for every scalar field of
     :class:`AsapParams`, :class:`MemoryParams`, :class:`CoreParams`,
-    ``WorkloadParams``, plus ``system.num_cores``. Tuple- and object-valued
-    fields (NUMA channel sets, the address space) are not sweepable."""
+    ``WorkloadParams``, plus ``system.num_cores`` and the service-only
+    fields of ``ServiceParams`` (group ``service``). Tuple- and
+    object-valued fields (NUMA channel sets, the address space) are not
+    sweepable."""
     if not _AXIS_REGISTRY:
         # WorkloadParams lives in repro.workloads.base, which imports the
         # simulator (and hence this module); resolve it lazily.
         from repro.workloads.base import WorkloadParams
+
+        from repro.workloads.service import ServiceParams
 
         _AXIS_REGISTRY.update(_scalar_fields(AsapParams, "asap", AsapParams()))
         _AXIS_REGISTRY.update(_scalar_fields(MemoryParams, "memory", MemoryParams()))
         _AXIS_REGISTRY.update(_scalar_fields(CoreParams, "core", CoreParams()))
         _AXIS_REGISTRY.update(
             _scalar_fields(WorkloadParams, "workload", WorkloadParams())
+        )
+        # service-only knobs (offered_load, skew, ...) get their own group:
+        # applying one to plain WorkloadParams upgrades them to ServiceParams
+        shared = {f.name for f in dataclasses.fields(WorkloadParams)}
+        _AXIS_REGISTRY.update(
+            {
+                name: target
+                for name, target in _scalar_fields(
+                    ServiceParams, "service", ServiceParams()
+                ).items()
+                if target.field not in shared
+            }
         )
         _AXIS_REGISTRY["system.num_cores"] = AxisTarget(
             name="system.num_cores",
@@ -421,4 +437,16 @@ def apply_axis_values(
                 + ", ".join(sorted(by_group["workload"]))
             )
         params = replace(params, **by_group["workload"])
+    if "service" in by_group:
+        from repro.workloads.service import ServiceParams
+
+        if params is None:
+            raise ConfigError(
+                "sweep names service axes but no WorkloadParams was given: "
+                + ", ".join(sorted(by_group["service"]))
+            )
+        if isinstance(params, ServiceParams):
+            params = replace(params, **by_group["service"])
+        else:
+            params = ServiceParams.from_base(params, **by_group["service"])
     return config, params

@@ -54,6 +54,7 @@ OBJECTIVES: Dict[str, Objective] = {
         Objective("cycles_per_region", False, lambda r: r.cycles_per_region),
         Objective("pm_writes", False, lambda r: float(r.pm_writes)),
         Objective("pm_reads", False, lambda r: float(r.pm_reads)),
+        Objective("p99_cycles", False, lambda r: float(r.p99_cycles)),
     )
 }
 

@@ -160,13 +160,17 @@ class SweepSpace:
         ``validate_against`` (default: the Table 2 :class:`SystemConfig`)
         so invalid values fail here, not mid-sweep.
         """
-        from repro.workloads import WorkloadParams, workload_names
+        from repro.workloads import (
+            WorkloadParams,
+            service_workload_names,
+            workload_names,
+        )
 
         built = tuple(Axis.of(name, values) for name, values in axes.items())
         base = tuple(
             (resolve_axis(n).name, v) for n, v in (baseline or {}).items()
         )
-        known = workload_names()
+        known = workload_names() + service_workload_names()
         for w in workloads:
             if w not in known:
                 raise ConfigError(f"unknown workload {w!r}; choose from {known}")

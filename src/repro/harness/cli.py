@@ -5,6 +5,7 @@ Usage::
     asap-repro fig7                # one experiment, quick mode
     asap-repro all --full --jobs 8 # everything, full machine, 8 workers
     asap-repro fig7 --no-cache     # force every cell to re-run
+    asap-repro serve-bench         # open-loop tail latency vs offered load
     asap-repro config              # dump the Table 2 configuration
     asap-repro workloads           # list the Table 3 benchmarks
     python -m repro.harness.run fig9b
@@ -52,10 +53,16 @@ def _dump_config() -> str:
 
 
 def _dump_workloads() -> str:
+    from repro.workloads import service_workload_names
+
     lines = ["Table 3: benchmarks"]
     for name in workload_names():
         wl = get_workload(name, WorkloadParams())
         lines.append(f"  {name:<6s} {wl.description}")
+    lines.append("service workloads (open-loop; see serve-bench)")
+    for name in service_workload_names():
+        wl = get_workload(name)
+        lines.append(f"  {name:<9s} {wl.description}")
     return "\n".join(lines)
 
 

@@ -15,6 +15,7 @@ from repro.harness.experiments import (
     fig10_overlap,
     lhwpq,
     numa,
+    serve_bench,
 )
 
 #: experiment name -> run(quick=...) callable returning an
@@ -34,6 +35,7 @@ REGISTRY = {
     "numa": numa.run,
     "corun": corun.run,
     "eadr": eadr_cmp.run,
+    "serve-bench": serve_bench.run,
 }
 
 __all__ = ["REGISTRY"]

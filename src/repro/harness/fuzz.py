@@ -82,11 +82,17 @@ class FuzzCase:
     #: entries exercising crashes with misses in flight pin small values
     #: so exhaustion stalls and merges stay live under replay
     mshrs_per_cache: Optional[int] = None
+    #: run a registered workload instead of the synthetic RMW schedule:
+    #: the workload name (e.g. ``"SVC"``) plus its params as a plain dict.
+    #: Workload cases replay verbatim (they are never mutated or shrunk -
+    #: the program is the workload's own, not a schedule the fuzzer owns)
+    workload: Optional[str] = None
+    workload_params: Optional[dict] = None
 
     # -- serialisation (the corpus format) ---------------------------------
 
     def to_json(self) -> dict:
-        return {
+        out = {
             "scheme": self.scheme,
             "threads": self.threads,
             "wpq_entries": self.wpq_entries,
@@ -96,6 +102,10 @@ class FuzzCase:
             "crash_fracs": self.crash_fracs,
             "mshrs_per_cache": self.mshrs_per_cache,
         }
+        if self.workload:
+            out["workload"] = self.workload
+            out["workload_params"] = dict(self.workload_params or {})
+        return out
 
     @staticmethod
     def from_json(data: dict) -> "FuzzCase":
@@ -111,6 +121,8 @@ class FuzzCase:
             ordered_line_log_persists=data.get("ordered_line_log_persists", True),
             crash_fracs=[float(f) for f in data.get("crash_fracs", [])],
             mshrs_per_cache=data.get("mshrs_per_cache"),
+            workload=data.get("workload"),
+            workload_params=data.get("workload_params"),
         )
 
     # -- shrinking helpers -------------------------------------------------
@@ -132,6 +144,11 @@ class FuzzCase:
 
     def example_line(self) -> str:
         """A pasteable ``@example(...)`` for the scheme's property test."""
+        if self.workload:
+            return (
+                f"# workload-backed case: {self.workload} "
+                f"{self.workload_params!r} (replay via the corpus)"
+            )
         test = (
             "tests/property/test_prop_recovery.py"
             if self.scheme == "asap"
@@ -146,6 +163,19 @@ class FuzzCase:
         return f"@example(threads={self.threads!r})  # pin on {test}{note}"
 
 
+def case_workload(case: FuzzCase):
+    """Instantiate the workload a workload-backed case pins (else None)."""
+    if not case.workload:
+        return None
+    from repro.workloads import WorkloadParams, get_workload
+    from repro.workloads.service import ServiceParams
+
+    kwargs = dict(case.workload_params or {})
+    service_only = {"offered_load", "skew", "read_fraction", "requests"}
+    cls = ServiceParams if service_only & set(kwargs) else WorkloadParams
+    return get_workload(case.workload, cls(**kwargs))
+
+
 def install_case(machine, case: FuzzCase) -> None:
     """Install the case's thread programs on any machine-like target.
 
@@ -154,7 +184,15 @@ def install_case(machine, case: FuzzCase) -> None:
     by the linter's :class:`~repro.analysis.linter.LintMachine`, so a
     corpus case replays both as a timed crash-consistency check and as a
     static lint target (the tier-1 corpus-replay suite does both).
+
+    A workload-backed case installs its pinned workload instead of the
+    synthetic RMW schedule; everything downstream (oracle differential,
+    crash sweep, race tracing, lint) is program-agnostic.
     """
+    workload = case_workload(case)
+    if workload is not None:
+        workload.install(machine)
+        return
     base = machine.heap.alloc(64 * NUM_LINES)
     lock = machine.new_lock()
 
@@ -315,6 +353,8 @@ def mutate_case(
     spends part of its budget mutating regression-corpus entries and any
     failures found this campaign, AFL-style.
     """
+    if base.workload:
+        return base  # workload cases have no schedule to edit
     threads = [[list(region) for region in thread] for thread in base.threads]
     jitter = [list(j) for j in base.jitter]
     for _ in range(rng.randint(1, 3)):
@@ -372,6 +412,8 @@ def shrink_case(
     writes; and clearing jitter. Deterministic: candidates are tried in a
     fixed order and the first improvement restarts the scan.
     """
+    if case.workload:
+        return case  # workload cases replay verbatim
     attempts = 0
 
     def accept(candidate: FuzzCase) -> bool:
@@ -543,7 +585,9 @@ def run_fuzz(
         pool = [
             c
             for c in corpus + report.failing_cases
-            if c.scheme == scheme or len(schemes) == 1
+            # workload-backed cases replay verbatim; their op streams are
+            # the workload's own, so schedule mutation has nothing to edit
+            if not c.workload and (c.scheme == scheme or len(schemes) == 1)
         ]
         if pool and rng.random() < 0.35:
             case = mutate_case(rng.choice(pool), rng, scheme=scheme)

@@ -75,6 +75,23 @@ def default_params(quick: bool = True, value_bytes: int = 64) -> WorkloadParams:
     )
 
 
+def default_service_params(quick: bool = True, **overrides):
+    """Service-family defaults (open-loop request workloads).
+
+    Quick mode keeps the request count small enough for CI smokes while
+    still queueing visibly once ``offered_load`` passes the knee.
+    """
+    from repro.workloads.service import ServiceParams
+
+    base = (
+        dict(num_threads=4, requests=96, setup_items=48)
+        if quick
+        else dict(num_threads=8, requests=1024, setup_items=128)
+    )
+    base.update(overrides)
+    return ServiceParams(**base)
+
+
 def build_machine(
     workload: Union[str, Sequence[str]],
     scheme: str,

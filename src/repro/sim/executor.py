@@ -57,6 +57,16 @@ class ThreadExecutor:
             return None
         return pack_rid(self.thread_id, self._local_region)
 
+    @property
+    def next_rid(self) -> int:
+        """Packed id the next top-level ``Begin`` on this thread will open.
+
+        Service workloads register a request's arrival cycle under this id
+        *before* yielding the region, so the durable-commit notification
+        (``scheme.on_commit``) can be matched back to the request.
+        """
+        return pack_rid(self.thread_id, self._local_region + 1)
+
     # -- lifecycle -------------------------------------------------------------
 
     def start(self) -> None:

@@ -10,7 +10,7 @@ All the paper's evaluation metrics come from here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.machine import Machine
@@ -46,6 +46,18 @@ class RunResult:
     #: Dependence List, and LH-WPQ pressure here
     stall_breakdown: Dict[str, int] = field(default_factory=dict)
     scheme_stats: Optional[object] = None
+    #: service-workload tail-latency data (empty for batch workloads):
+    #: fixed-bucket histogram of arrival-to-durable-commit latencies,
+    #: keyed by bucket index (see ``repro.workloads.service``)
+    latency_histogram: Dict[int, int] = field(default_factory=dict)
+    requests_completed: int = 0
+    p50_cycles: int = 0
+    p90_cycles: int = 0
+    p99_cycles: int = 0
+    p999_cycles: int = 0
+    #: (offered load, achieved load) in requests per kilocycle; the knee
+    #: of the throughput-vs-load curve is where achieved < offered
+    offered_vs_achieved: Tuple[float, float] = (0.0, 0.0)
 
     @staticmethod
     def collect(machine: "Machine") -> "RunResult":
@@ -68,7 +80,7 @@ class RunResult:
                 dep_slot=sum(dl.dep_stalls for dl in engine.dep_lists),
                 lh_wpq=sum(lh.stalls for lh in engine.lh_wpqs),
             )
-        return RunResult(
+        result = RunResult(
             scheme=machine.scheme.name,
             cycles=max(finish_cycles) if finish_cycles else machine.scheduler.now,
             drain_cycles=machine.scheduler.now,
@@ -88,6 +100,10 @@ class RunResult:
             stall_breakdown=stalls,
             scheme_stats=getattr(machine.scheme, "stats", None),
         )
+        recorder = getattr(machine, "service_recorder", None)
+        if recorder is not None:
+            recorder.fill(result)
+        return result
 
     # -- derived metrics ------------------------------------------------------
 

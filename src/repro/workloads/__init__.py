@@ -21,7 +21,13 @@ critical sections, Sec. 2.1) and parameterised by the per-region payload
 size (64 B / 2 KB in Figs. 7-8).
 """
 
-from repro.workloads.base import Workload, WorkloadParams, get_workload, workload_names
+from repro.workloads.base import (
+    Workload,
+    WorkloadParams,
+    get_workload,
+    service_workload_names,
+    workload_names,
+)
 from repro.workloads import (  # noqa: F401  (registration side effects)
     binarytree,
     btree,
@@ -30,8 +36,17 @@ from repro.workloads import (  # noqa: F401  (registration side effects)
     hashmap,
     queue,
     rbtree,
+    service,
     stringswap,
     tpcc,
 )
+from repro.workloads.service import ServiceParams  # noqa: F401
 
-__all__ = ["Workload", "WorkloadParams", "get_workload", "workload_names"]
+__all__ = [
+    "Workload",
+    "WorkloadParams",
+    "ServiceParams",
+    "get_workload",
+    "workload_names",
+    "service_workload_names",
+]

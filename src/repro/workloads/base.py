@@ -76,6 +76,11 @@ class Workload(abc.ABC):
     #: short evaluation name ("BN", "BT", ...)
     name: str = "?"
     description: str = ""
+    #: "batch" workloads are the Table 3 benchmarks every figure sweeps by
+    #: default; "service" workloads (open-loop request traffic, see
+    #: :mod:`repro.workloads.service`) opt out of those defaults and are
+    #: listed by :func:`service_workload_names` instead
+    family: str = "batch"
 
     def __init__(self, params: WorkloadParams):
         self.params = params
@@ -137,8 +142,18 @@ def get_workload(name: str, params: WorkloadParams = WorkloadParams()) -> Worklo
 
 
 def workload_names() -> List[str]:
-    """All Table 3 workload names, in the paper's order."""
+    """All Table 3 (batch) workload names, in the paper's order.
+
+    Service workloads are deliberately excluded: every figure, benchmark
+    and crash-test sweeps this list by default, and request-driven
+    workloads need a :class:`~repro.workloads.service.ServiceParams` to
+    mean anything. Use :func:`service_workload_names` for those.
+    """
+    batch = {n for n, cls in _REGISTRY.items() if cls.family == "batch"}
     order = ["BN", "BT", "CT", "EO", "HM", "Q", "RB", "SS", "TPCC"]
-    return [n for n in order if n in _REGISTRY] + sorted(
-        set(_REGISTRY) - set(order)
-    )
+    return [n for n in order if n in batch] + sorted(batch - set(order))
+
+
+def service_workload_names() -> List[str]:
+    """All open-loop service workload names, sorted."""
+    return sorted(n for n, cls in _REGISTRY.items() if cls.family == "service")

@@ -9,13 +9,17 @@ child/value pointers in a second line::
 Values are separate line-aligned allocations of ``value_bytes``. Inserts
 descend the tree (two line reads per level), write the modified leaf
 lines, and on overflow split nodes bottom-up, writing every touched node.
+
+The structure is split into ``setup`` (bootstrap) and per-operation
+generator methods so the open-loop service workloads
+(:mod:`repro.workloads.service`) can drive the same PM-backed store.
 """
 
 from __future__ import annotations
 
 import bisect
 import random
-from typing import List
+from typing import Dict, List
 
 from repro.common.units import CACHE_LINE_BYTES
 from repro.sim.machine import Machine
@@ -68,13 +72,15 @@ class BTree(Workload):
             Write(node.addr + CACHE_LINE_BYTES, node.ptr_line_words()),
         ]
 
-    def install(self, machine: Machine) -> None:
+    def setup(self, machine: Machine) -> None:
+        """Bootstrap the tree: root cell, global lock, initial items."""
         params = self.params
         rng = random.Random(params.seed + 1)
-        lock = machine.new_lock("bt")
+        self.lock = machine.new_lock("bt")
         self.root_cell = machine.heap.alloc(CACHE_LINE_BYTES)
-        state = {"root": self._alloc_tree_node(machine, leaf=True)}
-        key_index = {}  # key -> (leaf accessor resolved at op time)
+        self.state = {"root": self._alloc_tree_node(machine, leaf=True)}
+        self.key_index: Dict[int, bool] = {}
+        self.setup_keys: List[int] = []
 
         def bootstrap_value(key: int) -> int:
             addr = machine.heap.alloc(params.value_bytes)
@@ -83,40 +89,44 @@ class BTree(Workload):
             )
             return addr
 
-        def shadow_insert(key: int, value_addr: int, touched: set) -> None:
-            """Pure shadow insert; records touched nodes for write emission."""
-            root = state["root"]
-            if len(root.keys) == _MAX_KEYS:
-                new_root = self._alloc_tree_node(machine, leaf=False)
-                new_root.children = [root]
-                self._split_child(machine, new_root, 0, touched)
-                state["root"] = new_root
-                touched.add(new_root)
-            self._insert_nonfull(machine, state["root"], key, value_addr, touched)
-
-        # bootstrap
         for key in rng.sample(range(1, 1 << 30), params.setup_items):
             touched: set = set()
-            shadow_insert(key, bootstrap_value(key), touched)
-            key_index[key] = True
+            self._shadow_insert(machine, key, bootstrap_value(key), touched)
+            self.key_index[key] = True
+            self.setup_keys.append(key)
             for node in touched:
                 self._write_node(node, bootstrap=machine.bootstrap_write)
-        self._write_node(state["root"], bootstrap=machine.bootstrap_write)
-        machine.bootstrap_write(self.root_cell, [state["root"].addr])
+        self._write_node(self.state["root"], bootstrap=machine.bootstrap_write)
+        machine.bootstrap_write(self.root_cell, [self.state["root"].addr])
+
+    def _shadow_insert(self, machine: Machine, key: int, value_addr: int, touched: set) -> None:
+        """Pure shadow insert; records touched nodes for write emission."""
+        root = self.state["root"]
+        if len(root.keys) == _MAX_KEYS:
+            new_root = self._alloc_tree_node(machine, leaf=False)
+            new_root.children = [root]
+            self._split_child(machine, new_root, 0, touched)
+            self.state["root"] = new_root
+            touched.add(new_root)
+        self._insert_nonfull(machine, self.state["root"], key, value_addr, touched)
+
+    def install(self, machine: Machine) -> None:
+        params = self.params
+        self.setup(machine)
 
         def worker(env, thread_index: int):
             trng = random.Random(params.seed * 37 + thread_index)
             for op in range(params.ops_per_thread):
-                yield Lock(lock)
+                yield Lock(self.lock)
                 yield Begin()
-                if trng.random() >= params.update_fraction or not key_index:
+                if trng.random() >= params.update_fraction or not self.key_index:
                     key = trng.randrange(1, 1 << 30)
-                    yield from self._op_insert(machine, state, key_index, key, op, shadow_insert)
+                    yield from self._op_insert(machine, key, op)
                 else:
-                    key = trng.choice(list(key_index))
-                    yield from self._op_update(machine, state, key, op)
+                    key = trng.choice(list(self.key_index))
+                    yield from self._op_update(machine, key, op)
                 yield End()
-                yield Unlock(lock)
+                yield Unlock(self.lock)
 
         for t in range(params.num_threads):
             machine.spawn(lambda env, t=t: worker(env, t))
@@ -161,10 +171,10 @@ class BTree(Workload):
                 pos += 1
         self._insert_nonfull(machine, node.children[pos], key, value_addr, touched)
 
-    def _search_path(self, state, key: int):
+    def _search_path(self, key: int):
         """Shadow search; returns (path nodes, leaf, value index or None)."""
         path = []
-        node = state["root"]
+        node = self.state["root"]
         while True:
             path.append(node)
             if node.leaf:
@@ -176,26 +186,26 @@ class BTree(Workload):
 
     # -- op streams -----------------------------------------------------------------
 
-    def _op_insert(self, machine, state, key_index, key, op_index, shadow_insert):
-        path, _leaf, _pos = self._search_path(state, key)
+    def _op_insert(self, machine, key, op_index):
+        path, _leaf, _pos = self._search_path(key)
         for node in path:
             yield Read(node.addr, 8)  # key line
             yield Read(node.addr + CACHE_LINE_BYTES, 8)  # ptr line
         value_addr = machine.heap.alloc(self.params.value_bytes)
         value = self.derive_value(self.params.seed, key, op_index)
         yield Write(value_addr, self.payload_words(value))
-        old_root = state["root"]
+        old_root = self.state["root"]
         touched: set = set()
-        shadow_insert(key, value_addr, touched)
-        key_index[key] = True
+        self._shadow_insert(machine, key, value_addr, touched)
+        self.key_index[key] = True
         for node in sorted(touched, key=lambda n: n.addr):
             for op in self._write_node(node):
                 yield op
-        if state["root"] is not old_root:
-            yield Write(self.root_cell, [state["root"].addr])
+        if self.state["root"] is not old_root:
+            yield Write(self.root_cell, [self.state["root"].addr])
 
-    def _op_update(self, machine, state, key, op_index):
-        path, leaf, pos = self._search_path(state, key)
+    def _op_update(self, machine, key, op_index):
+        path, leaf, pos = self._search_path(key)
         for node in path:
             yield Read(node.addr, 8)
             yield Read(node.addr + CACHE_LINE_BYTES, 8)
@@ -203,6 +213,30 @@ class BTree(Workload):
         if pos is None:
             return
         yield Write(leaf.values[pos], self.payload_words(value))
+
+    # -- service-workload entry points ---------------------------------------
+
+    def op_get(self, machine: Machine, key: int):
+        """Read-only lookup: descend under the lock, read the value."""
+        yield Lock(self.lock)
+        path, leaf, pos = self._search_path(key)
+        for node in path:
+            yield Read(node.addr, 8)
+            yield Read(node.addr + CACHE_LINE_BYTES, 8)
+        if pos is not None:
+            yield Read(leaf.values[pos], self.params.value_words)
+        yield Unlock(self.lock)
+
+    def op_put(self, machine: Machine, key: int, op_index: int):
+        """Insert-or-update inside one atomic region under the lock."""
+        yield Lock(self.lock)
+        yield Begin()
+        if key in self.key_index:
+            yield from self._op_update(machine, key, op_index)
+        else:
+            yield from self._op_insert(machine, key, op_index)
+        yield End()
+        yield Unlock(self.lock)
 
     # -- semantic validation ----------------------------------------------------
 

@@ -5,6 +5,11 @@ locks, so threads in different stripes proceed in parallel. Entries are
 ``[key, next]`` headers followed by the payload. Inserts prepend to the
 chain (write entry, write bucket head); updates walk the chain (reads) and
 overwrite the payload.
+
+The structure is split into ``setup`` (bootstrap) and per-operation
+generator methods so the open-loop service workloads
+(:mod:`repro.workloads.service`) can drive the same PM-backed store with
+request traffic instead of a fixed per-thread op count.
 """
 
 from __future__ import annotations
@@ -37,76 +42,104 @@ class HashMap(Workload):
     name = "HM"
     description = "Insert/update entries in a hash table"
 
-    def install(self, machine: Machine) -> None:
+    def setup(self, machine: Machine) -> None:
+        """Bootstrap the table: bucket array, stripe locks, initial items."""
         params = self.params
         rng = random.Random(params.seed + 3)
         # Bucket heads: one word per bucket, spread one per line to avoid
         # pathological false sharing between stripes.
-        bucket_base = machine.heap.alloc(_NUM_BUCKETS * CACHE_LINE_BYTES)
-        self.bucket_base = bucket_base
-        buckets: List[Optional[_Entry]] = [None] * _NUM_BUCKETS
-        locks = [machine.new_lock(f"hm{s}") for s in range(_NUM_STRIPES)]
-        shadow: Dict[int, _Entry] = {}
-
-        def bucket_addr(b: int) -> int:
-            return bucket_base + b * CACHE_LINE_BYTES
-
-        def hash_of(key: int) -> int:
-            return (key * 2654435761) % _NUM_BUCKETS
-
-        def bootstrap_insert(key: int) -> None:
-            b = hash_of(key)
-            entry = _Entry(key, self.alloc_node(machine, 2), buckets[b])
-            machine.bootstrap_write(
-                entry.addr, [key, entry.next.addr if entry.next else 0]
-            )
-            machine.bootstrap_write(
-                entry.addr + CACHE_LINE_BYTES,
-                self.payload_words(self.derive_value(params.seed, key, 0)),
-            )
-            machine.bootstrap_write(bucket_addr(b), [entry.addr])
-            buckets[b] = entry
-            shadow[key] = entry
-
+        self.bucket_base = machine.heap.alloc(_NUM_BUCKETS * CACHE_LINE_BYTES)
+        self.buckets: List[Optional[_Entry]] = [None] * _NUM_BUCKETS
+        self.locks = [machine.new_lock(f"hm{s}") for s in range(_NUM_STRIPES)]
+        self.shadow: Dict[int, _Entry] = {}
+        self.setup_keys: List[int] = []
         for key in rng.sample(range(1, 1 << 30), params.setup_items):
-            bootstrap_insert(key)
+            self._bootstrap_insert(machine, key)
+            self.setup_keys.append(key)
+
+    def _bucket_addr(self, b: int) -> int:
+        return self.bucket_base + b * CACHE_LINE_BYTES
+
+    @staticmethod
+    def _hash_of(key: int) -> int:
+        return (key * 2654435761) % _NUM_BUCKETS
+
+    def _bootstrap_insert(self, machine: Machine, key: int) -> None:
+        b = self._hash_of(key)
+        entry = _Entry(key, self.alloc_node(machine, 2), self.buckets[b])
+        machine.bootstrap_write(
+            entry.addr, [key, entry.next.addr if entry.next else 0]
+        )
+        machine.bootstrap_write(
+            entry.addr + CACHE_LINE_BYTES,
+            self.payload_words(self.derive_value(self.params.seed, key, 0)),
+        )
+        machine.bootstrap_write(self._bucket_addr(b), [entry.addr])
+        self.buckets[b] = entry
+        self.shadow[key] = entry
+
+    def stripe_lock(self, key: int):
+        return self.locks[self._hash_of(key) % _NUM_STRIPES]
+
+    def op_get(self, machine: Machine, key: int):
+        """Read-only lookup: chain walk under the stripe lock, no region."""
+        b = self._hash_of(key)
+        stripe = self.stripe_lock(key)
+        yield Lock(stripe)
+        (head_addr,) = yield Read(self._bucket_addr(b), 1)
+        cur = self.buckets[b]
+        while cur is not None:
+            yield Read(cur.addr, 2)
+            if cur.key == key:
+                yield Read(cur.addr + CACHE_LINE_BYTES, self.params.value_words)
+                break
+            cur = cur.next
+        yield Unlock(stripe)
+
+    def op_put(self, machine: Machine, key: int, op_index: int):
+        """Insert-or-update inside one atomic region under the stripe lock."""
+        b = self._hash_of(key)
+        stripe = self.stripe_lock(key)
+        yield Lock(stripe)
+        yield Begin()
+        # walk the chain
+        (head_addr,) = yield Read(self._bucket_addr(b), 1)
+        cur = self.buckets[b]
+        found = None
+        while cur is not None:
+            yield Read(cur.addr, 2)
+            if cur.key == key:
+                found = cur
+                break
+            cur = cur.next
+        value = self.derive_value(self.params.seed, key, op_index)
+        if found is not None:
+            yield Write(found.addr + CACHE_LINE_BYTES, self.payload_words(value))
+        else:
+            entry = _Entry(key, self.alloc_node(machine, 2), self.buckets[b])
+            yield Write(entry.addr, [key])
+            yield Write(entry.addr + 8, [entry.next.addr if entry.next else 0])
+            yield Write(entry.addr + CACHE_LINE_BYTES, self.payload_words(value))
+            yield Write(self._bucket_addr(b), [entry.addr])
+            self.buckets[b] = entry
+            self.shadow[key] = entry
+        yield End()
+        yield Unlock(stripe)
+
+    def install(self, machine: Machine) -> None:
+        params = self.params
+        self.setup(machine)
 
         def worker(env, thread_index: int):
             trng = random.Random(params.seed * 43 + thread_index)
             for op in range(params.ops_per_thread):
-                insert = trng.random() >= params.update_fraction or not shadow
+                insert = trng.random() >= params.update_fraction or not self.shadow
                 key = (
                     trng.randrange(1, 1 << 30)
                     if insert
-                    else trng.choice(list(shadow))
+                    else trng.choice(list(self.shadow))
                 )
-                b = hash_of(key)
-                stripe = locks[b % _NUM_STRIPES]
-                yield Lock(stripe)
-                yield Begin()
-                # walk the chain
-                (head_addr,) = yield Read(bucket_addr(b), 1)
-                cur = buckets[b]
-                found = None
-                while cur is not None:
-                    vals = yield Read(cur.addr, 2)
-                    if cur.key == key:
-                        found = cur
-                        break
-                    cur = cur.next
-                value = self.derive_value(params.seed, key, op)
-                if found is not None:
-                    yield Write(found.addr + CACHE_LINE_BYTES, self.payload_words(value))
-                else:
-                    entry = _Entry(key, self.alloc_node(machine, 2), buckets[b])
-                    yield Write(entry.addr, [key])
-                    yield Write(entry.addr + 8, [entry.next.addr if entry.next else 0])
-                    yield Write(entry.addr + CACHE_LINE_BYTES, self.payload_words(value))
-                    yield Write(bucket_addr(b), [entry.addr])
-                    buckets[b] = entry
-                    shadow[key] = entry
-                yield End()
-                yield Unlock(stripe)
+                yield from self.op_put(machine, key, op)
 
         for t in range(params.num_threads):
             machine.spawn(lambda env, t=t: worker(env, t))

@@ -11,11 +11,18 @@ A compact in-memory TPC-C subset:
 Each New-Order atomic region: read + bump the district's ``next_o_id``,
 insert the order record and 5-15 order lines, and update each touched
 stock row - the paper's largest and most write-intensive region.
+
+The transaction body is a method (``op_new_order``) so the open-loop
+service workloads (:mod:`repro.workloads.service`) can drive the same
+store with skewed request traffic; a Zipf-chosen district models the hot
+warehouse that "Persistence and Synchronization: Friends or Foes?"
+identifies as the tail-latency driver.
 """
 
 from __future__ import annotations
 
 import random
+from typing import Dict, List
 
 from repro.common.units import CACHE_LINE_BYTES
 from repro.sim.machine import Machine
@@ -34,72 +41,96 @@ class TPCC(Workload):
     name = "TPCC"
     description = "New Order transaction in TPC-C"
 
-    def install(self, machine: Machine) -> None:
-        params = self.params
-        district_base = machine.heap.alloc(_NUM_DISTRICTS * CACHE_LINE_BYTES)
-        stock_base = machine.heap.alloc(_NUM_ITEMS * CACHE_LINE_BYTES)
-        self.district_base, self.stock_base = district_base, stock_base
-        district_locks = [machine.new_lock(f"dist{d}") for d in range(_NUM_DISTRICTS)]
-        stock_locks = [machine.new_lock(f"stock{s}") for s in range(_STOCK_STRIPES)]
-        shadow_district = []
-        shadow_stock = []
+    num_districts = _NUM_DISTRICTS
 
+    def setup(self, machine: Machine) -> None:
+        """Bootstrap district and stock rows plus their lock hierarchy."""
+        self.district_base = machine.heap.alloc(_NUM_DISTRICTS * CACHE_LINE_BYTES)
+        self.stock_base = machine.heap.alloc(_NUM_ITEMS * CACHE_LINE_BYTES)
+        self.district_locks = [
+            machine.new_lock(f"dist{d}") for d in range(_NUM_DISTRICTS)
+        ]
+        self.stock_locks = [
+            machine.new_lock(f"stock{s}") for s in range(_STOCK_STRIPES)
+        ]
+        self.shadow_district: List[Dict[str, int]] = []
+        self.shadow_stock: List[Dict[str, int]] = []
         for d in range(_NUM_DISTRICTS):
-            shadow_district.append({"next_o_id": 1, "ytd": 0})
-            machine.bootstrap_write(district_base + d * CACHE_LINE_BYTES, [1, 0])
+            self.shadow_district.append({"next_o_id": 1, "ytd": 0})
+            machine.bootstrap_write(self.district_base + d * CACHE_LINE_BYTES, [1, 0])
         for i in range(_NUM_ITEMS):
             qty = 100
-            shadow_stock.append({"qty": qty, "ytd": 0, "cnt": 0})
-            machine.bootstrap_write(stock_base + i * CACHE_LINE_BYTES, [qty, 0, 0])
+            self.shadow_stock.append({"qty": qty, "ytd": 0, "cnt": 0})
+            machine.bootstrap_write(self.stock_base + i * CACHE_LINE_BYTES, [qty, 0, 0])
 
-        def district_addr(d: int) -> int:
-            return district_base + d * CACHE_LINE_BYTES
+    def _district_addr(self, d: int) -> int:
+        return self.district_base + d * CACHE_LINE_BYTES
 
-        def stock_addr(i: int) -> int:
-            return stock_base + i * CACHE_LINE_BYTES
+    def _stock_addr(self, i: int) -> int:
+        return self.stock_base + i * CACHE_LINE_BYTES
 
-        def new_order(trng: random.Random, op_index: int):
-            d = trng.randrange(_NUM_DISTRICTS)
-            ol_cnt = trng.randint(5, 15)
-            items = sorted({trng.randrange(_NUM_ITEMS) for _ in range(ol_cnt)})
-            stripes = sorted({i % _STOCK_STRIPES for i in items})
-            # global lock order: district lock, then stock stripes ascending
-            yield Lock(district_locks[d])
-            for s in stripes:
-                yield Lock(stock_locks[s])
-            yield Begin()
-            (o_id, ytd) = yield Read(district_addr(d), 2)
-            expect_word(o_id, shadow_district[d]["next_o_id"], f"district {d} next_o_id")
-            shadow_district[d]["next_o_id"] = o_id + 1
-            shadow_district[d]["ytd"] = ytd + ol_cnt
-            yield Write(district_addr(d), [o_id + 1])
-            yield Write(district_addr(d) + 8, [ytd + ol_cnt])
-            # order record: [o_id, d, ol_cnt] + payload
-            order_addr = self.alloc_node(machine, 3)
-            yield Write(order_addr, [o_id, d])
-            yield Write(order_addr + 16, [len(items)])
-            yield Write(
-                order_addr + CACHE_LINE_BYTES,
-                self.payload_words(self.derive_value(self.params.seed, o_id, op_index)),
-            )
-            for item in items:
-                (qty, s_ytd, cnt) = yield Read(stock_addr(item), 3)
-                take = trng.randint(1, 10)
-                new_qty = qty - take if qty - take >= 10 else qty - take + 91
-                shadow_stock[item].update(qty=new_qty, ytd=s_ytd + take, cnt=cnt + 1)
-                yield Write(stock_addr(item), [new_qty, s_ytd + take, cnt + 1])
-                # order line: [o_id, item, take, amount]
-                ol_addr = machine.heap.alloc(CACHE_LINE_BYTES)
-                yield Write(ol_addr, [o_id, item, take, take * 7])
-            yield End()
-            for s in reversed(stripes):
-                yield Unlock(stock_locks[s])
-            yield Unlock(district_locks[d])
+    def op_new_order(
+        self,
+        machine: Machine,
+        trng: random.Random,
+        op_index: int,
+        district: int = None,
+    ):
+        """One New-Order transaction; ``district`` overrides the random pick."""
+        d = trng.randrange(_NUM_DISTRICTS) if district is None else district
+        ol_cnt = trng.randint(5, 15)
+        items = sorted({trng.randrange(_NUM_ITEMS) for _ in range(ol_cnt)})
+        stripes = sorted({i % _STOCK_STRIPES for i in items})
+        # global lock order: district lock, then stock stripes ascending
+        yield Lock(self.district_locks[d])
+        for s in stripes:
+            yield Lock(self.stock_locks[s])
+        yield Begin()
+        (o_id, ytd) = yield Read(self._district_addr(d), 2)
+        expect_word(
+            o_id, self.shadow_district[d]["next_o_id"], f"district {d} next_o_id"
+        )
+        self.shadow_district[d]["next_o_id"] = o_id + 1
+        self.shadow_district[d]["ytd"] = ytd + ol_cnt
+        yield Write(self._district_addr(d), [o_id + 1])
+        yield Write(self._district_addr(d) + 8, [ytd + ol_cnt])
+        # order record: [o_id, d, ol_cnt] + payload
+        order_addr = self.alloc_node(machine, 3)
+        yield Write(order_addr, [o_id, d])
+        yield Write(order_addr + 16, [len(items)])
+        yield Write(
+            order_addr + CACHE_LINE_BYTES,
+            self.payload_words(self.derive_value(self.params.seed, o_id, op_index)),
+        )
+        for item in items:
+            (qty, s_ytd, cnt) = yield Read(self._stock_addr(item), 3)
+            take = trng.randint(1, 10)
+            new_qty = qty - take if qty - take >= 10 else qty - take + 91
+            self.shadow_stock[item].update(qty=new_qty, ytd=s_ytd + take, cnt=cnt + 1)
+            yield Write(self._stock_addr(item), [new_qty, s_ytd + take, cnt + 1])
+            # order line: [o_id, item, take, amount]
+            ol_addr = machine.heap.alloc(CACHE_LINE_BYTES)
+            yield Write(ol_addr, [o_id, item, take, take * 7])
+        yield End()
+        for s in reversed(stripes):
+            yield Unlock(self.stock_locks[s])
+        yield Unlock(self.district_locks[d])
+
+    def op_stock_level(self, machine: Machine, trng: random.Random, district: int):
+        """TPC-C's read-only Stock-Level query: fuzzy, lock-free reads."""
+        yield Read(self._district_addr(district), 2)
+        items = sorted({trng.randrange(_NUM_ITEMS) for _ in range(10)})
+        for item in items:
+            yield Read(self._stock_addr(item), 3)
+
+    def install(self, machine: Machine) -> None:
+        params = self.params
+        self.setup(machine)
 
         def worker(env, thread_index: int):
             trng = random.Random(params.seed * 67 + thread_index)
             for op in range(params.ops_per_thread):
-                yield from new_order(trng, op)
+                yield from self.op_new_order(machine, trng, op)
 
         for t in range(params.num_threads):
             machine.spawn(lambda env, t=t: worker(env, t))

@@ -101,6 +101,7 @@ def test_registry_complete():
     assert set(REGISTRY) == {
         "fig1", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig10_overlap",
         "lhwpq", "area", "ablations", "extension", "numa", "corun", "eadr",
+        "serve-bench",
     }
 
 
@@ -157,6 +158,33 @@ def test_summary_ratio_handles_zero_denominator():
     assert _ratio(2.0, 0) == "n/a"
     assert _ratio(3.0, 2.0) == "1.50x"
     assert _ratio(1, 0.52, "x NP") == "1.92x NP"
+
+
+def test_serve_bench_shape(capsys):
+    assert main(["serve-bench", "--workloads", "SVC", "--no-progress",
+                 "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "SVC" in out and "p99" in out and "offered" in out
+
+
+def test_cli_serve_bench_jobs_and_cache_byte_identity(tmp_path, capsys):
+    # The open-loop rows (arrival schedule, histogram, percentiles) must
+    # be byte-identical across worker counts and cache states: cold
+    # serial, warm parallel, and cold parallel all emit the same JSON.
+    cold1 = tmp_path / "cold1.json"
+    warm2 = tmp_path / "warm2.json"
+    cold2 = tmp_path / "cold2.json"
+    args = ["serve-bench", "--workloads", "SVC", "--no-progress"]
+    cache = str(tmp_path / "cache")
+    assert main(args + ["--cache-dir", cache, "--jobs", "1",
+                        "--json", str(cold1)]) == 0
+    capsys.readouterr()
+    assert main(args + ["--cache-dir", cache, "--jobs", "2",
+                        "--json", str(warm2)]) == 0
+    assert "cells from cache" in capsys.readouterr().out
+    assert main(args + ["--cache-dir", str(tmp_path / "cache2"), "--jobs", "2",
+                        "--json", str(cold2)]) == 0
+    assert cold1.read_text() == warm2.read_text() == cold2.read_text()
 
 
 def test_cli_jobs_and_cache_flags(tmp_path, capsys):

@@ -33,7 +33,12 @@ from repro.harness.parallel import RunSpec, run_cell
 from repro.mem.image import FastMemoryImage
 from repro.persist import make_scheme, scheme_names
 from repro.sim.machine import Machine
-from repro.workloads import WorkloadParams, workload_names
+from repro.workloads import (
+    ServiceParams,
+    WorkloadParams,
+    service_workload_names,
+    workload_names,
+)
 
 CORPUS_DIR = os.path.join(
     os.path.dirname(__file__), "..", "property", "corpus"
@@ -41,6 +46,14 @@ CORPUS_DIR = os.path.join(
 CORPUS_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
 
 MATRIX = [(w, s) for w in workload_names() for s in scheme_names()]
+
+#: every service workload under the schemes with the most divergent
+#: commit timing (async ASAP variants, sync SW, undo locking)
+SERVICE_MATRIX = [
+    (w, s)
+    for w in service_workload_names()
+    for s in ("asap", "asap_redo", "sw", "hwundo")
+]
 
 
 def _config() -> SystemConfig:
@@ -66,6 +79,27 @@ def _pair(workload, scheme, config=None, params=None):
 )
 def test_fast_matches_reference(workload, scheme):
     ref, fast = _pair(workload, scheme, _config(), _params())
+    assert fast == ref
+
+
+@pytest.mark.parametrize(
+    "workload,scheme", SERVICE_MATRIX, ids=[f"{w}-{s}" for w, s in SERVICE_MATRIX]
+)
+def test_fast_matches_reference_service(workload, scheme):
+    # Open-loop service cells: the new latency fields (histogram,
+    # percentiles, offered-vs-achieved) are filled from commit-time
+    # callbacks and must also be bit-identical between the cores. The
+    # load sits past the knee so queueing (and late drain-time commits
+    # under the async schemes) are actually exercised.
+    params = ServiceParams(
+        num_threads=4, requests=48, value_bytes=256, setup_items=24,
+        offered_load=8.0,
+    )
+    ref, fast = _pair(workload, scheme, _config(), params)
+    assert ref["requests_completed"] == 48
+    assert ref["latency_histogram"]
+    assert ref["p99_cycles"] > 0
+    assert ref["offered_vs_achieved"][0] == 8.0
     assert fast == ref
 
 
